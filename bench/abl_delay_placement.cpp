@@ -1,0 +1,96 @@
+/// \file abl_delay_placement.cpp
+/// \brief Ablation: placement of the DCDE delay D (paper §II-B1: optimal
+///        |D| = 1/(4·fc); eq. (3): reconstruction unstable at D = nT/k,
+///        nT/k⁺).  Sweeps D across ]0, m[ including points close to the
+///        forbidden values.
+///
+/// Expected shape: reconstruction error is flat and low in a wide middle
+/// region (minimum kernel magnitude near 250 ps = 1/(4·fc)), and blows up
+/// as D approaches the forbidden 483 ps (and the origin), where the kernel
+/// coefficients diverge.
+#include <cmath>
+#include <iostream>
+
+#include "core/random.hpp"
+#include "core/stats.hpp"
+#include "core/table.hpp"
+#include "core/units.hpp"
+#include "adc/tiadc.hpp"
+#include "rf/passband.hpp"
+#include "sampling/pnbs.hpp"
+
+int main() {
+    using namespace sdrbist;
+    const auto band = sampling::band_around(1.0 * GHz, 90.0 * MHz);
+    const double t_period = 1.0 / band.bandwidth();
+
+    rng gen(0xD31A);
+    std::vector<rf::tone> tones;
+    for (int i = 0; i < 6; ++i)
+        tones.push_back({gen.uniform(band.f_lo + 8.0 * MHz,
+                                     band.f_hi - 8.0 * MHz),
+                         gen.uniform(0.1, 0.3), gen.uniform(0.0, two_pi)});
+    const std::size_t n = 1200;
+    const rf::multitone_signal sig(std::move(tones),
+                                   static_cast<double>(n) * t_period + 1.0 * us);
+
+    std::cout << "Ablation — DCDE delay placement (optimal 1/(4fc) = "
+              << sampling::kohlenberg_kernel::optimal_delay(band) / ps
+              << " ps; forbidden near "
+              << t_period / 23.0 / ps << " and " << t_period / 22.0 / ps
+              << " ps)\n\n";
+
+    text_table table({"D [ps]", "max |s(t)| near origin", "recon error [%]",
+                      "note"});
+    for (double d_ps : {20.0, 60.0, 120.0, 180.0, 250.0, 330.0, 420.0, 460.0,
+                        478.0, 482.0}) {
+        const double d = d_ps * ps;
+        if (!sampling::kohlenberg_kernel::delay_is_stable(band, d)) {
+            table.add_row({text_table::num(d_ps, 0), "-", "-", "FORBIDDEN"});
+            continue;
+        }
+        // Kernel magnitude: scan |s| over one period around the origin.
+        const sampling::kohlenberg_kernel kern(band, d);
+        double smax = 0.0;
+        for (double t = -t_period; t <= t_period; t += t_period / 500.0)
+            smax = std::max(smax, std::abs(kern.s(t)));
+
+        // Ideal capture and reconstruction at the true delay.
+        adc::tiadc_config tc;
+        tc.channel_rate_hz = band.bandwidth();
+        tc.quant.bits = 10;
+        tc.quant.full_scale = 1.5;
+        tc.jitter_rms_s = 3.0 * ps;
+        tc.delay_element.step_s = 0.1 * ps;
+        tc.delay_element.code_max = 20000;
+        adc::bp_tiadc sampler(tc);
+        sampler.program_delay(d);
+        const auto cap = sampler.capture(sig, 0.2 * us, n, 0);
+
+        const sampling::pnbs_reconstructor recon(
+            cap.even, cap.odd, cap.period_s, cap.t_start, band,
+            cap.true_delay_s, {61, 8.0});
+        rng probe(0xF00D);
+        std::vector<double> ref, est;
+        for (int i = 0; i < 300; ++i) {
+            const double t =
+                probe.uniform(recon.valid_begin(), recon.valid_end());
+            ref.push_back(sig.value(t));
+            est.push_back(recon.value(t));
+        }
+        const double err = relative_rms_error(ref, est);
+
+        std::string note;
+        if (std::abs(d_ps - 250.0) < 1.0)
+            note = "optimal 1/(4fc)";
+        else if (d_ps > 460.0)
+            note = "near forbidden";
+        table.add_row({text_table::num(d_ps, 0), text_table::num(smax, 2),
+                       text_table::num(100.0 * err, 2), note});
+    }
+    table.print(std::cout);
+    std::cout << "\nreading: kernel magnitude (and with it the error) "
+                 "diverges towards the eq. (3) forbidden delays; the flat "
+                 "region around 1/(4fc) confirms the optimal placement\n";
+    return 0;
+}

@@ -1,0 +1,81 @@
+/// \file abl_hw_mapping.cpp
+/// \brief The paper's §VI future work, quantified: mapping the nonuniform
+///        reconstructor to hardware (envelope tables + NCO) — error versus
+///        table phase density and coefficient word length, with the ROM
+///        footprint a designer would pay.
+///
+/// Expected shape: with phase interpolation the table density saturates
+/// quickly (64 phases suffice); the error floor then tracks the coefficient
+/// quantisation ~2^-bits until the jitter/truncation floor takes over.
+#include <iostream>
+
+#include "core/random.hpp"
+#include "core/stats.hpp"
+#include "core/table.hpp"
+#include "core/units.hpp"
+#include "rf/passband.hpp"
+#include "sampling/hw_recon.hpp"
+
+int main() {
+    using namespace sdrbist;
+    using namespace sdrbist::sampling;
+
+    const auto band = band_around(1.0 * GHz, 90.0 * MHz);
+    const double period = 1.0 / band.bandwidth();
+    const double d = 180.0 * ps;
+
+    rng gen(0x4A2D);
+    std::vector<rf::tone> tones;
+    for (int i = 0; i < 5; ++i)
+        tones.push_back({gen.uniform(band.f_lo + 8.0 * MHz,
+                                     band.f_hi - 8.0 * MHz),
+                         gen.uniform(0.2, 0.6), gen.uniform(0.0, two_pi)});
+    const std::size_t n = 900;
+    const rf::multitone_signal sig(
+        std::move(tones), static_cast<double>(n) * period + 1.0 * us);
+    std::vector<double> even(n), odd(n);
+    for (std::size_t k = 0; k < n; ++k) {
+        even[k] = sig.value(static_cast<double>(k) * period);
+        odd[k] = sig.value(static_cast<double>(k) * period + d);
+    }
+
+    auto measure = [&](const hw_recon_options& opt) {
+        const hw_pnbs_reconstructor hw(even, odd, period, 0.0, band, d, opt);
+        rng probe(0x77);
+        std::vector<double> ref, est;
+        for (int i = 0; i < 400; ++i) {
+            const double t = probe.uniform(hw.valid_begin(), hw.valid_end());
+            ref.push_back(sig.value(t));
+            est.push_back(hw.value(t));
+        }
+        return std::pair{relative_rms_error(ref, est), hw.rom_bytes()};
+    };
+
+    std::cout << "Hardware mapping ablation (paper SVI future work)\n"
+              << "61-tap window, envelope tables + NCO datapath, phase "
+                 "interpolation on\n\n";
+
+    text_table table({"phases/T", "coeff bits", "rel. error [%]",
+                      "ROM [kB]"});
+    for (const std::size_t phases : {16u, 64u, 256u}) {
+        for (const int bits : {8, 12, 16, 0}) {
+            hw_recon_options opt;
+            opt.taps = 61;
+            opt.phase_steps = phases;
+            opt.coeff_bits = bits;
+            const auto [err, rom] = measure(opt);
+            table.add_row({std::to_string(phases),
+                           bits == 0 ? "float64" : std::to_string(bits),
+                           text_table::num(100.0 * err, 4),
+                           text_table::num(static_cast<double>(rom) / 1024.0,
+                                           1)});
+        }
+    }
+    table.print(std::cout);
+
+    std::cout << "\nreading: 64 phases x 12-16 bit coefficients reach the "
+                 "double-precision floor with a few tens of kB of ROM and "
+                 "4 NCO sines + 4x61 MACs per output sample — a practical "
+                 "FPGA datapath\n";
+    return 0;
+}

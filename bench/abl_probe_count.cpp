@@ -1,0 +1,54 @@
+/// \file abl_probe_count.cpp
+/// \brief Ablation: number of probe times N in the skew cost (the paper
+///        requires "N > 100" and uses 300).  For each N the LMS estimate is
+///        repeated over independent probe draws; the spread of D̂ shows how
+///        many probes the cost needs to be reliable.
+///
+/// Expected shape: estimate spread shrinks ~1/sqrt(N); N = 300 gives
+/// comfortably sub-ps repeatability, N < 100 becomes erratic.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "calib/lms.hpp"
+#include "core/table.hpp"
+
+int main() {
+    using namespace sdrbist;
+
+    const auto run = benchutil::run_paper_engine();
+    const double d_true = run.art.capture.fast.true_delay_s;
+    const auto [lo, hi] = calib::valid_probe_interval(run.art.capture,
+                                                      run.config.lms.recon);
+    const calib::lms_skew_estimator estimator(run.config.lms);
+
+    std::cout << "Ablation — probe count N (paper: N = 300, 'N > 100')\n\n";
+    text_table table({"N", "mean |err| [ps]", "max |err| [ps]",
+                      "spread (max-min) [ps]"});
+    for (std::size_t n_probes : {30u, 60u, 100u, 300u, 600u}) {
+        std::vector<double> estimates;
+        for (std::uint64_t trial = 0; trial < 6; ++trial) {
+            rng gen(0x9000 + trial * 131);
+            const auto probes =
+                calib::make_probe_times(gen, n_probes, lo, hi);
+            estimates.push_back(
+                estimator.estimate(run.art.capture, 120.0 * ps, probes).d_hat);
+        }
+        double mean_err = 0.0, max_err = 0.0;
+        double mn = estimates[0], mx = estimates[0];
+        for (double d : estimates) {
+            mean_err += std::abs(d - d_true);
+            max_err = std::max(max_err, std::abs(d - d_true));
+            mn = std::min(mn, d);
+            mx = std::max(mx, d);
+        }
+        mean_err /= static_cast<double>(estimates.size());
+        table.add_row({std::to_string(n_probes),
+                       text_table::num(mean_err / ps, 3),
+                       text_table::num(max_err / ps, 3),
+                       text_table::num((mx - mn) / ps, 3)});
+    }
+    table.print(std::cout);
+    std::cout << "\nreading: the paper's N = 300 sits on the flat part of "
+                 "the curve; far smaller N raises the estimate spread\n";
+    return 0;
+}

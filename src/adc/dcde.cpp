@@ -1,0 +1,44 @@
+#include "adc/dcde.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/contracts.hpp"
+#include "core/random.hpp"
+
+namespace sdrbist::adc {
+
+dcde::dcde(dcde_config config) : config_(config), code_(config.code_min) {
+    SDRBIST_EXPECTS(config_.step_s > 0.0);
+    SDRBIST_EXPECTS(config_.code_min <= config_.code_max);
+    SDRBIST_EXPECTS(config_.inl_rms_s >= 0.0);
+}
+
+void dcde::set_code(int code) {
+    SDRBIST_EXPECTS(code >= config_.code_min && code <= config_.code_max);
+    code_ = code;
+}
+
+double dcde::programmed_delay() const {
+    return static_cast<double>(code_) * config_.step_s;
+}
+
+double dcde::actual_delay() const {
+    double d = programmed_delay() + config_.static_error_s;
+    if (config_.inl_rms_s > 0.0) {
+        // Deterministic per-code INL: hash the code into the seed so the
+        // same code always maps to the same analog delay.
+        rng gen(config_.inl_seed * 0x9E3779B97F4A7C15ull +
+                static_cast<std::uint64_t>(code_ - config_.code_min));
+        d += gen.gaussian(0.0, config_.inl_rms_s);
+    }
+    return d;
+}
+
+int dcde::code_for(double delay_s) const {
+    const double ideal = delay_s / config_.step_s;
+    const int code = static_cast<int>(std::lround(ideal));
+    return std::clamp(code, config_.code_min, config_.code_max);
+}
+
+} // namespace sdrbist::adc

@@ -1,0 +1,53 @@
+/// \file dcde.hpp
+/// \brief Digitally Controlled Delay Element — the key added block of the
+///        proposed BP-TIADC (paper Fig. 4, shown in red).
+///
+/// The DCDE shifts the second channel's sampling clock by a programmable
+/// delay.  Hardware DCDEs have a finite step (LSB), limited range and
+/// static error; the BIST never needs to *null* the skew, only to know it —
+/// so the model exposes both the programmed and the true delay.
+#pragma once
+
+#include <cstdint>
+
+namespace sdrbist::adc {
+
+/// DCDE hardware parameters.
+struct dcde_config {
+    double step_s = 1e-12;       ///< delay LSB (e.g. ~1 ps granularity)
+    int code_min = 0;            ///< lowest programmable code
+    int code_max = 1023;         ///< highest programmable code
+    double static_error_s = 0.0; ///< fixed offset between programmed and true
+    double inl_rms_s = 0.0;      ///< per-code integral nonlinearity, rms
+    std::uint64_t inl_seed = 1;  ///< INL realisation seed
+};
+
+/// Behavioural DCDE: code -> actual analog delay.
+class dcde {
+public:
+    explicit dcde(dcde_config config);
+
+    /// Program a delay code.  Precondition: code within range.
+    void set_code(int code);
+
+    /// Currently programmed code.
+    [[nodiscard]] int code() const { return code_; }
+
+    /// Ideal (datasheet) delay for the programmed code: code·step.
+    [[nodiscard]] double programmed_delay() const;
+
+    /// True analog delay including static error and INL — what the skew
+    /// estimator must discover.
+    [[nodiscard]] double actual_delay() const;
+
+    /// Nearest code for a target delay (clamped to range).
+    [[nodiscard]] int code_for(double delay_s) const;
+
+    [[nodiscard]] const dcde_config& config() const { return config_; }
+
+private:
+    dcde_config config_;
+    int code_ = 0;
+};
+
+} // namespace sdrbist::adc

@@ -1,0 +1,39 @@
+#include "adc/quantizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/contracts.hpp"
+
+namespace sdrbist::adc {
+
+quantizer::quantizer(quantizer_config config) : config_(config) {
+    SDRBIST_EXPECTS(config_.bits >= 1 && config_.bits <= 24);
+    SDRBIST_EXPECTS(config_.full_scale > 0.0);
+    lsb_ = 2.0 * config_.full_scale /
+           static_cast<double>(1 << config_.bits);
+}
+
+double quantizer::quantize(double x) const {
+    // Channel errors act on the analog sample before conversion.
+    x = x * (1.0 + config_.gain_error) + config_.offset_error;
+    // Clip to the converter range.
+    const double fs = config_.full_scale;
+    x = std::clamp(x, -fs, fs - lsb_ * 1e-9); // keep top code reachable
+    // Mid-rise characteristic.
+    return lsb_ * (std::floor(x / lsb_) + 0.5);
+}
+
+std::vector<double> quantizer::process(std::span<const double> x) const {
+    std::vector<double> out(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i)
+        out[i] = quantize(x[i]);
+    return out;
+}
+
+double quantizer::ideal_snr_db(int bits) {
+    SDRBIST_EXPECTS(bits >= 1);
+    return 6.0206 * static_cast<double>(bits) + 1.7609;
+}
+
+} // namespace sdrbist::adc

@@ -1,0 +1,42 @@
+/// \file quantizer.hpp
+/// \brief N-bit uniform quantiser with gain/offset error and clipping.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace sdrbist::adc {
+
+/// Quantiser parameters.  The paper's ADCs are 10-bit converters.
+struct quantizer_config {
+    int bits = 10;
+    double full_scale = 1.0;    ///< input range is [-full_scale, +full_scale]
+    double gain_error = 0.0;    ///< relative gain error (0 = ideal)
+    double offset_error = 0.0;  ///< input-referred offset, volts
+};
+
+/// Mid-rise uniform quantiser: q = LSB·(floor(x/LSB) + 1/2), clipped.
+class quantizer {
+public:
+    explicit quantizer(quantizer_config config);
+
+    /// Quantise one sample (applies gain and offset error first).
+    [[nodiscard]] double quantize(double x) const;
+
+    /// Quantise a record.
+    [[nodiscard]] std::vector<double> process(std::span<const double> x) const;
+
+    /// LSB size.
+    [[nodiscard]] double lsb() const { return lsb_; }
+
+    /// Ideal quantisation SNR for a full-scale sine: 6.02·bits + 1.76 dB.
+    [[nodiscard]] static double ideal_snr_db(int bits);
+
+    [[nodiscard]] const quantizer_config& config() const { return config_; }
+
+private:
+    quantizer_config config_;
+    double lsb_;
+};
+
+} // namespace sdrbist::adc

@@ -1,0 +1,99 @@
+/// \file tiadc.hpp
+/// \brief The nonuniform BP-TIADC of paper Fig. 4: two slow ADC channels
+///        (the idle Rx I/Q converters) sampling the PA output, the second
+///        channel delayed by the DCDE.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "adc/clock.hpp"
+#include "adc/dcde.hpp"
+#include "adc/quantizer.hpp"
+#include "rf/passband.hpp"
+
+namespace sdrbist::adc {
+
+/// One nonuniform capture: the two uniform sample sets of PNBS.
+///
+/// even[n] = x(t_start + n·T + jitter),  odd[n] = x(t_start + n·T + D + jitter)
+struct nonuniform_capture {
+    std::vector<double> even; ///< channel 0 record, f(nT)
+    std::vector<double> odd;  ///< channel 1 record, f(nT + D)
+    double period_s = 0.0;    ///< T = 1/B
+    double t_start = 0.0;     ///< time of even[0] (nominal)
+    double true_delay_s = 0.0;///< actual DCDE delay D (ground truth;
+                              ///< hidden from estimators in the BIST flow)
+
+    /// Channel sample rate B = 1/T.
+    [[nodiscard]] double rate() const { return 1.0 / period_s; }
+};
+
+/// BP-TIADC configuration.
+struct tiadc_config {
+    double channel_rate_hz = 90e6;  ///< per-channel rate B (paper: 90 MHz)
+    quantizer_config quant{};       ///< per-channel converter (paper: 10-bit)
+    double jitter_rms_s = 3e-12;    ///< S/H clock jitter (paper: 3 ps rms)
+    dcde_config delay_element{};    ///< DCDE hardware model
+    // Channel mismatches (paper assumes none; kept for robustness studies
+    // and the gain/offset background-calibration substrate).
+    double ch1_gain_error = 0.0;
+    double ch1_offset_error = 0.0;
+    std::uint64_t seed = 0xADC0; ///< jitter seed base
+};
+
+/// Result of the auto-ranging step (see bp_tiadc::auto_range).
+struct ranging_result {
+    double input_scale = 1.0; ///< attenuator setting chosen
+    double observed_peak = 0.0;
+    bool clipped = false; ///< peak exceeded full scale before ranging
+};
+
+/// Two-channel nonuniform sampler.
+class bp_tiadc {
+public:
+    explicit bp_tiadc(tiadc_config config);
+
+    /// Program the DCDE to (approximately) the requested delay; returns the
+    /// programmed code.  The *actual* delay differs by static error / INL.
+    int program_delay(double delay_s);
+
+    /// Actual analog delay realised by the DCDE (ground truth).
+    [[nodiscard]] double actual_delay() const { return delay_.actual_delay(); }
+
+    /// Programmable front-end attenuator (linear scale applied before the
+    /// S/H).  Production capture paths tap the PA through a coupler and a
+    /// step attenuator so the converter is never driven into clipping.
+    void set_input_scale(double scale);
+    [[nodiscard]] double input_scale() const { return input_scale_; }
+
+    /// Auto-ranging: take a coarse peak measurement of x and choose the
+    /// attenuation that places the peak at `headroom` of full scale.
+    ranging_result auto_range(const rf::passband_signal& x, double t_start,
+                              std::size_t n, double headroom = 0.7);
+
+    /// Capture n samples per channel starting at t_start.
+    /// `capture_index` decorrelates the jitter streams of repeated captures
+    /// (each hardware capture sees fresh jitter).
+    [[nodiscard]] nonuniform_capture capture(const rf::passband_signal& x,
+                                             double t_start, std::size_t n,
+                                             std::uint64_t capture_index = 0) const;
+
+    /// Capture at a reduced channel rate (the paper's second capture runs
+    /// the same hardware at B1 = B/2).  `rate_divider` >= 1.
+    [[nodiscard]] nonuniform_capture
+    capture_divided(const rf::passband_signal& x, double t_start,
+                    std::size_t n, std::size_t rate_divider,
+                    std::uint64_t capture_index = 1) const;
+
+    [[nodiscard]] const tiadc_config& config() const { return config_; }
+
+private:
+    tiadc_config config_;
+    quantizer quant0_;
+    quantizer quant1_;
+    dcde delay_;
+    double input_scale_ = 1.0;
+};
+
+} // namespace sdrbist::adc

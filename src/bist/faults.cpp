@@ -1,0 +1,65 @@
+#include "bist/faults.hpp"
+
+namespace sdrbist::bist {
+
+rf::tx_config inject_fault(rf::tx_config golden, fault_kind fault) {
+    switch (fault) {
+    case fault_kind::none:
+        break;
+    case fault_kind::pa_overdrive:
+        // Drive the PA 7 dB harder: heavy compression, spectral regrowth.
+        golden.pa_backoff_db -= 7.0;
+        break;
+    case fault_kind::pa_gain_drop:
+        golden.pa_gain_db -= 6.0;
+        golden.pa_backoff_db += 6.0; // output power drops, linearity fine
+        break;
+    case fault_kind::iq_imbalance:
+        golden.imbalance.gain_db = 1.5;
+        golden.imbalance.phase_deg = 8.0;
+        break;
+    case fault_kind::lo_leakage:
+        golden.leakage.level_dbc = -15.0;
+        break;
+    case fault_kind::excessive_phase_noise:
+        golden.lo_phase_noise.linewidth_hz = 200e3;
+        break;
+    case fault_kind::filter_detune:
+        // Anti-image filter cutoff collapses into the signal band.
+        golden.recon_filter_cutoff_hz = 4e6;
+        break;
+    }
+    return golden;
+}
+
+std::string to_string(fault_kind fault) {
+    switch (fault) {
+    case fault_kind::none:
+        return "none";
+    case fault_kind::pa_overdrive:
+        return "pa-overdrive";
+    case fault_kind::pa_gain_drop:
+        return "pa-gain-drop";
+    case fault_kind::iq_imbalance:
+        return "iq-imbalance";
+    case fault_kind::lo_leakage:
+        return "lo-leakage";
+    case fault_kind::excessive_phase_noise:
+        return "excessive-phase-noise";
+    case fault_kind::filter_detune:
+        return "filter-detune";
+    }
+    return "unknown";
+}
+
+std::vector<fault_kind> fault_catalogue() {
+    return {fault_kind::none,
+            fault_kind::pa_overdrive,
+            fault_kind::pa_gain_drop,
+            fault_kind::iq_imbalance,
+            fault_kind::lo_leakage,
+            fault_kind::excessive_phase_noise,
+            fault_kind::filter_detune};
+}
+
+} // namespace sdrbist::bist

@@ -1,0 +1,36 @@
+/// \file faults.hpp
+/// \brief Parametric fault injection for BIST validation.
+///
+/// Production BIST is judged by fault coverage: each catalogued fault
+/// perturbs the transmitter configuration the way a real marginal device
+/// would, and tests/benches verify the verdict flips for detectable faults.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rf/tx.hpp"
+
+namespace sdrbist::bist {
+
+/// Catalogue of injectable transmitter faults.
+enum class fault_kind {
+    none,                ///< golden device
+    pa_overdrive,        ///< lost backoff -> compression + regrowth
+    pa_gain_drop,        ///< broken bias -> low output power
+    iq_imbalance,        ///< quadrature error (image + EVM)
+    lo_leakage,          ///< carrier feedthrough
+    excessive_phase_noise, ///< degraded LO
+    filter_detune,       ///< reconstruction filter cutoff shifted low
+};
+
+/// Apply a fault to a golden configuration; returns the faulty config.
+rf::tx_config inject_fault(rf::tx_config golden, fault_kind fault);
+
+/// Name for reports.
+std::string to_string(fault_kind fault);
+
+/// All faults including `none` (for coverage sweeps).
+std::vector<fault_kind> fault_catalogue();
+
+} // namespace sdrbist::bist

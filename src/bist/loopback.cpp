@@ -1,0 +1,27 @@
+#include "bist/loopback.hpp"
+
+#include "rf/tx.hpp"
+
+namespace sdrbist::bist {
+
+loopback_report run_loopback_bist(const loopback_config& config) {
+    auto stimulus = waveform::generate_baseband(config.preset.stimulus);
+
+    rf::tx_config txc = config.tx;
+    txc.carrier_hz = config.preset.default_carrier_hz;
+    const rf::homodyne_tx tx(txc);
+    const auto tx_out = tx.transmit(stimulus);
+
+    const rf::homodyne_rx rx(config.rx);
+    const auto rx_env = rx.receive(tx_out.envelope, tx_out.envelope_rate,
+                                   config.loopback_gain_db);
+
+    loopback_report report;
+    report.evm_limit_percent = config.evm_limit_percent;
+    report.evm = waveform::measure_evm(
+        std::span<const std::complex<double>>(rx_env.data(), rx_env.size()),
+        tx_out.envelope_rate, stimulus);
+    return report;
+}
+
+} // namespace sdrbist::bist

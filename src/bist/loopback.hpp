@@ -1,0 +1,38 @@
+/// \file loopback.hpp
+/// \brief Conventional Tx->Rx loopback BIST — the technique the paper's
+///        introduction critiques: cheap, but subject to *fault masking*
+///        (a marginal Tx hidden by a complementary Rx, §I).
+///
+/// Provided as the baseline strategy so the library can demonstrate,
+/// quantitatively, why observing the PA output directly (the paper's
+/// BP-TIADC approach) is worth the extra DCDE.
+#pragma once
+
+#include "rf/rx.hpp"
+#include "waveform/evm.hpp"
+#include "waveform/standard.hpp"
+
+namespace sdrbist::bist {
+
+/// Loopback test configuration.
+struct loopback_config {
+    waveform::standard_preset preset = waveform::paper_qpsk_preset();
+    rf::tx_config tx{};
+    rf::rx_config rx{};
+    double loopback_gain_db = -30.0; ///< coupler + attenuator
+    double evm_limit_percent = 8.0;
+};
+
+/// Loopback verdict: only the end-to-end EVM is observable.
+struct loopback_report {
+    waveform::evm_result evm;
+    double evm_limit_percent = 0.0;
+    [[nodiscard]] bool pass() const {
+        return evm.evm_percent() <= evm_limit_percent;
+    }
+};
+
+/// Run the loopback test: stimulus -> Tx -> coupler -> Rx -> EVM.
+loopback_report run_loopback_bist(const loopback_config& config);
+
+} // namespace sdrbist::bist

@@ -1,0 +1,29 @@
+#include "bist/multistandard.hpp"
+
+namespace sdrbist::bist {
+
+std::vector<bist_report>
+run_catalogue(const bist_config& base,
+              const std::vector<waveform::standard_preset>& presets) {
+    std::vector<bist_report> reports;
+    reports.reserve(presets.size());
+    for (const auto& preset : presets) {
+        bist_config cfg = base;
+        cfg.preset = preset;
+        // Keep the mask limits above what this capture hardware can
+        // measure at the preset's carrier (paper §II-B3: jitter-induced
+        // wideband noise bounds the observable floor).
+        const double occupied = preset.stimulus.symbol_rate *
+                                (1.0 + preset.stimulus.rolloff);
+        const double floor = waveform::bist_measurement_floor_dbc(
+            preset.default_carrier_hz, cfg.tiadc.jitter_rms_s, occupied,
+            cfg.tiadc.channel_rate_hz);
+        cfg.preset.mask =
+            waveform::relax_to_measurement_floor(preset.mask, floor);
+        const bist_engine engine(cfg);
+        reports.push_back(engine.run());
+    }
+    return reports;
+}
+
+} // namespace sdrbist::bist

@@ -1,0 +1,20 @@
+/// \file multistandard.hpp
+/// \brief Run the BIST across the whole standard catalogue — the paper's
+///        headline flexibility claim: one architecture, any configuration,
+///        no extra hardware per standard.
+#pragma once
+
+#include <vector>
+
+#include "bist/engine.hpp"
+
+namespace sdrbist::bist {
+
+/// Run the given base configuration against every preset in the catalogue
+/// (the preset's stimulus, mask and carrier replace the base's).
+std::vector<bist_report>
+run_catalogue(const bist_config& base,
+              const std::vector<waveform::standard_preset>& presets =
+                  waveform::standard_catalogue());
+
+} // namespace sdrbist::bist

@@ -1,0 +1,44 @@
+#include "bist/report.hpp"
+
+#include <sstream>
+
+#include "core/units.hpp"
+
+namespace sdrbist::bist {
+
+std::string bist_report::summary() const {
+    std::ostringstream os;
+    os << "BIST report — preset '" << preset_name << "' @ "
+       << carrier_hz / GHz << " GHz\n";
+    os << "  dual-rate conditions: "
+       << (dual_rate_conditions_ok ? "ok" : "VIOLATED")
+       << "  (search interval ]0, " << max_search_delay_s / ps << " ps[)\n";
+    os << "  time-skew: D-hat = " << skew.d_hat / ps << " ps after "
+       << skew.iterations << " iterations (cost " << skew.final_cost
+       << ", " << (skew.converged ? "converged" : "NOT converged") << ")\n";
+    os << "  spectral mask: " << (mask.pass ? "PASS" : "FAIL")
+       << " (worst margin " << mask.worst_margin_db << " dB)\n";
+    for (const auto& seg : mask.segments)
+        os << "    [" << seg.segment.offset_lo_hz / MHz << ", "
+           << seg.segment.offset_hi_hz / MHz << "] MHz: measured "
+           << seg.measured_dbc << " dBc vs limit " << seg.segment.limit_dbc
+           << " dBc -> " << (seg.pass ? "pass" : "FAIL") << "\n";
+    os << "  EVM: " << evm.evm_percent() << " % rms (limit "
+       << evm_limit_percent << " %) — " << (evm_pass ? "PASS" : "FAIL")
+       << "\n";
+    if (min_output_rms > 0.0)
+        os << "  output power: " << measured_output_rms << " V rms (min "
+           << min_output_rms << ") — " << (power_pass ? "PASS" : "FAIL")
+           << "\n";
+    if (acpr_limit_dbc < 0.0)
+        os << "  ACPR: lower " << acpr.lower_dbc << " / upper "
+           << acpr.upper_dbc << " dBc (limit " << acpr_limit_dbc << ") — "
+           << (acpr_pass ? "PASS" : "FAIL") << "\n";
+    if (occupied_bw_hz > 0.0)
+        os << "  occupied bandwidth (99%): " << occupied_bw_hz / MHz
+           << " MHz\n";
+    os << "  verdict: " << (pass() ? "PASS" : "FAIL") << "\n";
+    return os.str();
+}
+
+} // namespace sdrbist::bist

@@ -1,0 +1,65 @@
+/// \file report.hpp
+/// \brief BIST verdicts and diagnostic data returned to the production
+///        tester.
+#pragma once
+
+#include <string>
+
+#include "calib/lms.hpp"
+#include "waveform/evm.hpp"
+#include "waveform/mask.hpp"
+#include "waveform/tx_metrics.hpp"
+
+namespace sdrbist::bist {
+
+/// Everything one BIST execution produced.
+struct bist_report {
+    std::string preset_name;
+    double carrier_hz = 0.0;
+
+    // Time-skew identification.
+    calib::skew_estimate skew;
+    double programmed_delay_s = 0.0; ///< DCDE target the BIST programmed
+
+    // Identifiability diagnostics.
+    bool dual_rate_conditions_ok = false;
+    double max_search_delay_s = 0.0; ///< m of the search interval ]0, m[
+    double slow_band_offset_hz = 0.0; ///< slow-band shift chosen for eq. (9)
+    double fast_band_offset_hz = 0.0; ///< fast-band shift (degenerate fc)
+    double carrier_nudge_hz = 0.0; ///< BIST test-carrier shift applied when
+                                   ///< every band plan at the nominal
+                                   ///< carrier is identifiability-blind
+    double plan_discrimination = 0.0; ///< numerical identifiability of the
+                                      ///< selected plan (see calib)
+
+    // Spectrum verdict.
+    waveform::mask_report mask;
+
+    // Modulation-quality verdict.
+    waveform::evm_result evm;
+    double evm_limit_percent = 0.0;
+    bool evm_pass = false;
+
+    // Output-power verdict (PA health): RMS of the capture-path signal
+    // referred back through the ranging attenuator.
+    double measured_output_rms = 0.0;
+    double min_output_rms = 0.0; ///< 0 = check disabled
+    bool power_pass = true;
+
+    // Spectral scalar metrics of the reconstructed signal.
+    waveform::acpr_result acpr;
+    double acpr_limit_dbc = 0.0; ///< 0 = check disabled
+    bool acpr_pass = true;
+    double occupied_bw_hz = 0.0; ///< measured 99 % occupied bandwidth
+
+    // Composite verdict.
+    [[nodiscard]] bool pass() const {
+        return dual_rate_conditions_ok && skew.converged && mask.pass &&
+               evm_pass && power_pass && acpr_pass;
+    }
+
+    /// Multi-line human-readable summary.
+    [[nodiscard]] std::string summary() const;
+};
+
+} // namespace sdrbist::bist

@@ -1,0 +1,87 @@
+#include "bist/spectrum.hpp"
+
+#include <cmath>
+
+#include "core/contracts.hpp"
+#include "dsp/ddc.hpp"
+
+namespace sdrbist::bist {
+
+reconstructed_envelope
+reconstruct_envelope(const sampling::pnbs_reconstructor& recon,
+                     const spectrum_options& opt) {
+    const auto& band = recon.kernel().band();
+    const double t_lo = recon.valid_begin();
+    const double t_hi = recon.valid_end();
+    SDRBIST_EXPECTS(t_hi > t_lo);
+
+    // Dense alias-free grid for the passband waveform.
+    const double dense_rate = opt.dense_rate_factor * 2.0 * band.f_hi;
+    const auto n_dense =
+        static_cast<std::size_t>(std::floor((t_hi - t_lo) * dense_rate));
+    SDRBIST_EXPECTS(n_dense >= 64);
+    const auto x = recon.uniform(t_lo, dense_rate, n_dense);
+
+    // Decimate down to a few × bandwidth.
+    const double env_rate_target = opt.envelope_rate_min > 0.0
+                                       ? opt.envelope_rate_min
+                                       : 4.0 * band.bandwidth();
+    auto decim = static_cast<std::size_t>(
+        std::max(1.0, std::floor(dense_rate / env_rate_target)));
+
+    const double mix_f =
+        opt.mix_frequency > 0.0 ? opt.mix_frequency : band.centre();
+    dsp::ddc_options ddc;
+    ddc.carrier_hz = mix_f;
+    ddc.sample_rate = dense_rate;
+    ddc.decimation = decim;
+    ddc.fir_taps = opt.ddc_taps;
+    ddc.cutoff_hz = opt.ddc_cutoff_hz > 0.0
+                        ? opt.ddc_cutoff_hz
+                        : 0.55 * band.bandwidth() +
+                              std::abs(mix_f - band.centre());
+
+    reconstructed_envelope out;
+    out.samples = dsp::digital_downconvert(x, ddc);
+    out.rate = dense_rate / static_cast<double>(decim);
+    out.t0 = t_lo;
+
+    // The DDC mixes with phase 0 at its first sample; re-reference the
+    // envelope phase to absolute time so e(t)·e^{j2π·f_mix·t} = x(t).
+    const double phi0 = 2.0 * 3.141592653589793238462643 * mix_f * t_lo;
+    const std::complex<double> rot = std::polar(1.0, -phi0);
+    for (auto& v : out.samples)
+        v *= rot;
+    return out;
+}
+
+std::size_t auto_welch_segment(double envelope_rate, double occupied_bw,
+                               std::size_t available_samples,
+                               double bins_per_occupied) {
+    SDRBIST_EXPECTS(envelope_rate > 0.0);
+    SDRBIST_EXPECTS(occupied_bw > 0.0);
+    SDRBIST_EXPECTS(available_samples >= 512);
+    // RBW target: occupied_bw / bins_per_occupied  =>  segment bins needed.
+    const double want =
+        envelope_rate * bins_per_occupied / occupied_bw;
+    std::size_t seg = 256;
+    while (static_cast<double>(seg) < want && seg < 16384 &&
+           2 * seg <= available_samples / 2)
+        seg *= 2;
+    return seg;
+}
+
+dsp::psd_result envelope_psd(const reconstructed_envelope& env,
+                             std::size_t welch_segment) {
+    SDRBIST_EXPECTS(env.samples.size() >= welch_segment);
+    dsp::welch_options w;
+    w.segment_length = welch_segment;
+    w.overlap = 0.5;
+    w.window = dsp::window_kind::hann;
+    return dsp::welch_psd(
+        std::span<const std::complex<double>>(env.samples.data(),
+                                              env.samples.size()),
+        env.rate, w);
+}
+
+} // namespace sdrbist::bist

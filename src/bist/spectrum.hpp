@@ -1,0 +1,53 @@
+/// \file spectrum.hpp
+/// \brief From nonuniform samples to a carrier-centred spectrum: dense PNBS
+///        evaluation, digital downconversion and Welch PSD.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "dsp/psd.hpp"
+#include "sampling/pnbs.hpp"
+
+namespace sdrbist::bist {
+
+/// Reconstructed complex envelope with its timeline.
+struct reconstructed_envelope {
+    std::vector<std::complex<double>> samples;
+    double rate = 0.0; ///< envelope sample rate
+    double t0 = 0.0;   ///< absolute time of samples[0]
+};
+
+/// Spectrum-path options.
+struct spectrum_options {
+    double dense_rate_factor = 2.3; ///< dense grid rate = factor × 2·f_hi
+    double envelope_rate_min = 0.0; ///< 0 = auto (4 × bandwidth)
+    std::size_t ddc_taps = 0;       ///< DDC FIR length (0 = auto-size)
+    double ddc_cutoff_hz = 0.0;     ///< 0 = auto (0.55 × band width)
+    std::size_t welch_segment = 0;  ///< 0 = auto: sized so the resolution
+                                    ///< bandwidth is a small fraction of the
+                                    ///< graded signal's occupied bandwidth
+    double mix_frequency = 0.0; ///< DDC mix-down frequency; 0 = the
+                                ///< reconstruction band centre.  Set to the
+                                ///< carrier when the band is offset from it.
+};
+
+/// Welch segment length for a target resolution: the largest power of two
+/// <= available/2 with at least `bins_per_occupied` bins across the
+/// occupied bandwidth, clamped to [256, 16384].
+std::size_t auto_welch_segment(double envelope_rate, double occupied_bw,
+                               std::size_t available_samples,
+                               double bins_per_occupied = 40.0);
+
+/// Evaluate the reconstructor densely over its valid span, mix down by the
+/// band centre and decimate to a manageable envelope rate.
+reconstructed_envelope
+reconstruct_envelope(const sampling::pnbs_reconstructor& recon,
+                     const spectrum_options& opt = {});
+
+/// Welch PSD (two-sided, frequencies relative to the band centre) of a
+/// reconstructed envelope.
+dsp::psd_result envelope_psd(const reconstructed_envelope& env,
+                             std::size_t welch_segment = 256);
+
+} // namespace sdrbist::bist

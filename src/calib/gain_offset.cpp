@@ -1,0 +1,42 @@
+#include "calib/gain_offset.hpp"
+
+#include <cmath>
+
+#include "core/contracts.hpp"
+#include "core/stats.hpp"
+
+namespace sdrbist::calib {
+
+gain_offset_estimate
+estimate_gain_offset(const adc::nonuniform_capture& capture) {
+    SDRBIST_EXPECTS(capture.even.size() >= 16);
+    SDRBIST_EXPECTS(capture.even.size() == capture.odd.size());
+
+    gain_offset_estimate est;
+    est.offset_even = mean(capture.even);
+    est.offset_odd = mean(capture.odd);
+
+    double p0 = 0.0, p1 = 0.0;
+    for (std::size_t i = 0; i < capture.even.size(); ++i) {
+        const double e = capture.even[i] - est.offset_even;
+        const double o = capture.odd[i] - est.offset_odd;
+        p0 += e * e;
+        p1 += o * o;
+    }
+    SDRBIST_EXPECTS(p0 > 0.0);
+    est.gain_ratio = std::sqrt(p1 / p0);
+    return est;
+}
+
+adc::nonuniform_capture
+apply_gain_offset_correction(adc::nonuniform_capture capture,
+                             const gain_offset_estimate& estimate) {
+    SDRBIST_EXPECTS(estimate.gain_ratio > 0.0);
+    for (double& v : capture.even)
+        v -= estimate.offset_even;
+    for (double& v : capture.odd)
+        v = (v - estimate.offset_odd) / estimate.gain_ratio;
+    return capture;
+}
+
+} // namespace sdrbist::calib

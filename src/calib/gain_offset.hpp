@@ -1,0 +1,32 @@
+/// \file gain_offset.hpp
+/// \brief Background gain/offset mismatch calibration for the two TIADC
+///        channels (paper §III: "The offset and the gain error calibrations
+///        are relatively simple to implement [16]").
+///
+/// Both channels observe the same repeatable zero-mean bandpass stimulus,
+/// so channel offsets are record means and the gain ratio is the ratio of
+/// the AC RMS values (Fu et al. 1998 reduced to the offline BIST setting).
+#pragma once
+
+#include "adc/tiadc.hpp"
+
+namespace sdrbist::calib {
+
+/// Estimated channel mismatches.
+struct gain_offset_estimate {
+    double offset_even = 0.0; ///< channel-0 offset
+    double offset_odd = 0.0;  ///< channel-1 offset
+    double gain_ratio = 1.0;  ///< channel-1 gain relative to channel 0
+};
+
+/// Estimate offsets and relative gain from one capture.
+gain_offset_estimate
+estimate_gain_offset(const adc::nonuniform_capture& capture);
+
+/// Return a corrected copy: offsets removed, channel 1 divided by the
+/// gain ratio.
+adc::nonuniform_capture
+apply_gain_offset_correction(adc::nonuniform_capture capture,
+                             const gain_offset_estimate& estimate);
+
+} // namespace sdrbist::calib

@@ -1,0 +1,64 @@
+#include "calib/jamal.hpp"
+
+#include <cmath>
+
+#include "core/contracts.hpp"
+#include "core/math_util.hpp"
+#include "core/units.hpp"
+
+namespace sdrbist::calib {
+
+jamal_estimate estimate_skew_sine_fit(const adc::nonuniform_capture& capture,
+                                      double tone_rf_hz,
+                                      const jamal_options& opt) {
+    SDRBIST_EXPECTS(tone_rf_hz > 0.0);
+    SDRBIST_EXPECTS(capture.even.size() >= 16);
+
+    const double t = capture.period_s;
+    // Normalised tone frequency and its first-Nyquist-zone fold.
+    double nu = std::fmod(tone_rf_hz * t, 1.0);
+    bool inverted = false;
+    if (nu > 0.5) {
+        nu = 1.0 - nu;
+        inverted = true;
+    }
+    SDRBIST_EXPECTS(nu > 1e-6 && nu < 0.5 - 1e-6);
+
+    const auto fit0 = dsp::sine_fit_3param(capture.even, nu);
+    const auto fit1 = dsp::sine_fit_3param(capture.odd, nu);
+
+    // Channel 0 observes cos(2π·nu·n ± θ); channel 1 adds 2π·f_RF·D to the
+    // carrier phase θ.  With spectral inversion the observed phase is -θ.
+    double delta = fit1.phase - fit0.phase;
+    if (inverted)
+        delta = -delta;
+    delta = wrap_phase(delta);
+
+    double d_hat = delta / (two_pi * tone_rf_hz);
+
+    // Resolve the n/f_RF ambiguity inside the search range.
+    const double period_rf = 1.0 / tone_rf_hz;
+    const double d_min = opt.min_delay_s;
+    const double d_max =
+        opt.max_delay_s > 0.0 ? opt.max_delay_s : 0.5 * period_rf;
+    SDRBIST_EXPECTS(d_max > d_min);
+    while (d_hat < d_min)
+        d_hat += period_rf;
+    while (d_hat > d_max)
+        d_hat -= period_rf;
+    // If we stepped below the range the ambiguity is unresolvable; report
+    // the closest candidate (the caller sees the residual and range).
+    if (d_hat < d_min)
+        d_hat += period_rf;
+
+    jamal_estimate out;
+    out.d_hat = d_hat;
+    out.phase_even = fit0.phase;
+    out.phase_odd = fit1.phase;
+    out.alias_freq_norm = nu;
+    out.spectrum_inverted = inverted;
+    out.fit_residual_rms = std::max(fit0.residual_rms, fit1.residual_rms);
+    return out;
+}
+
+} // namespace sdrbist::calib

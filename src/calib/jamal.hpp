@@ -1,0 +1,46 @@
+/// \file jamal.hpp
+/// \brief Sample-time-error estimation with a known test sinusoid, adapted
+///        from Jamal et al., "Calibration of sample-time error in a
+///        two-channel time-interleaved analog-to-digital converter"
+///        (TCAS-I 2004) — the baseline the paper compares against in
+///        Table I.
+///
+/// Adaptation (the paper used one without publishing details): each channel
+/// record is a sine-fit (IEEE-1057, known frequency) of the aliased test
+/// tone; the inter-channel phase difference divided by 2π·f_RF yields the
+/// skew.  Its two defining properties are preserved: it needs a *known*
+/// input sinusoid, and its accuracy depends on the tone frequency ω0.
+#pragma once
+
+#include "adc/tiadc.hpp"
+#include "dsp/tone.hpp"
+
+namespace sdrbist::calib {
+
+/// Estimation output.
+struct jamal_estimate {
+    double d_hat = 0.0;         ///< estimated skew
+    double phase_even = 0.0;    ///< fitted phase, channel 0
+    double phase_odd = 0.0;     ///< fitted phase, channel 1
+    double alias_freq_norm = 0.0; ///< observed tone frequency, cycles/sample
+    bool spectrum_inverted = false; ///< tone folded from an even zone edge
+    double fit_residual_rms = 0.0;  ///< worse of the two channel residuals
+};
+
+/// Options for the sine-fit skew estimator.
+struct jamal_options {
+    double min_delay_s = 0.0;  ///< search range for ambiguity resolution
+    double max_delay_s = 0.0;  ///< 0 = use half a carrier period
+};
+
+/// Estimate the inter-channel delay from a capture of a known RF sinusoid.
+///
+/// \param capture      BP-TIADC record of the pure test tone
+/// \param tone_rf_hz   the known RF frequency of the tone
+/// The phase ambiguity n/f_RF is resolved to the candidate inside
+/// [min_delay, max_delay].
+jamal_estimate estimate_skew_sine_fit(const adc::nonuniform_capture& capture,
+                                      double tone_rf_hz,
+                                      const jamal_options& opt = {});
+
+} // namespace sdrbist::calib

@@ -1,0 +1,45 @@
+/// \file contracts.hpp
+/// \brief Precondition / postcondition checking for the public API.
+///
+/// Following the C++ Core Guidelines (I.5/I.6, I.7/I.8) every public entry
+/// point states its preconditions.  Violations throw `contract_violation`
+/// so that tests can assert on misuse and callers can diagnose configuration
+/// errors instead of observing silent numerical garbage.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace sdrbist {
+
+/// Thrown when a documented precondition or postcondition is violated.
+class contract_violation : public std::logic_error {
+public:
+    using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* cond,
+                                       const char* file, int line) {
+    throw contract_violation(std::string(kind) + " violated: `" + cond +
+                             "` at " + file + ":" + std::to_string(line));
+}
+} // namespace detail
+
+} // namespace sdrbist
+
+/// Check a precondition; throws sdrbist::contract_violation on failure.
+#define SDRBIST_EXPECTS(cond)                                                  \
+    do {                                                                       \
+        if (!(cond))                                                           \
+            ::sdrbist::detail::contract_fail("precondition", #cond, __FILE__,  \
+                                             __LINE__);                        \
+    } while (false)
+
+/// Check a postcondition; throws sdrbist::contract_violation on failure.
+#define SDRBIST_ENSURES(cond)                                                  \
+    do {                                                                       \
+        if (!(cond))                                                           \
+            ::sdrbist::detail::contract_fail("postcondition", #cond, __FILE__, \
+                                             __LINE__);                        \
+    } while (false)

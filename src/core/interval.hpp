@@ -1,0 +1,44 @@
+/// \file interval.hpp
+/// \brief Closed real interval, used for alias-free sampling-rate windows.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+namespace sdrbist {
+
+/// Closed interval [lo, hi].  Empty when hi < lo.
+struct interval {
+    double lo = 0.0;
+    double hi = -1.0;
+
+    [[nodiscard]] bool empty() const { return hi < lo; }
+    [[nodiscard]] double width() const { return empty() ? 0.0 : hi - lo; }
+    [[nodiscard]] bool contains(double x) const { return !empty() && lo <= x && x <= hi; }
+
+    /// Intersection with another interval (possibly empty).
+    [[nodiscard]] interval intersect(const interval& o) const {
+        return {std::max(lo, o.lo), std::min(hi, o.hi)};
+    }
+
+    friend bool operator==(const interval& a, const interval& b) = default;
+};
+
+/// Sort intervals by lower edge and merge overlapping/adjacent ones.
+/// Empty intervals are dropped.
+inline std::vector<interval> merge_intervals(std::vector<interval> v,
+                                             double adjacency_tol = 0.0) {
+    std::erase_if(v, [](const interval& i) { return i.empty(); });
+    std::sort(v.begin(), v.end(),
+              [](const interval& a, const interval& b) { return a.lo < b.lo; });
+    std::vector<interval> out;
+    for (const interval& i : v) {
+        if (!out.empty() && i.lo <= out.back().hi + adjacency_tol)
+            out.back().hi = std::max(out.back().hi, i.hi);
+        else
+            out.push_back(i);
+    }
+    return out;
+}
+
+} // namespace sdrbist

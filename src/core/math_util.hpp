@@ -1,0 +1,77 @@
+/// \file math_util.hpp
+/// \brief Small numeric helpers shared by the DSP and sampling modules.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "core/contracts.hpp"
+#include "core/units.hpp"
+
+namespace sdrbist {
+
+/// Normalised sinc: sinc(x) = sin(pi·x)/(pi·x), sinc(0) = 1.
+inline double sinc(double x) {
+    const double ax = std::abs(x);
+    if (ax < 1e-8) {
+        // 4th-order Taylor expansion around 0; error < 1e-32 for |x| < 1e-8.
+        const double px = pi * x;
+        return 1.0 - px * px / 6.0;
+    }
+    return std::sin(pi * x) / (pi * x);
+}
+
+/// Modified Bessel function of the first kind, order zero (series expansion).
+/// Used by the Kaiser window.  Accurate to double precision for |x| <= 700.
+inline double bessel_i0(double x) {
+    const double half = x / 2.0;
+    double term = 1.0;
+    double sum = 1.0;
+    for (int k = 1; k < 1000; ++k) {
+        term *= (half / k) * (half / k);
+        sum += term;
+        if (term < sum * std::numeric_limits<double>::epsilon())
+            break;
+    }
+    return sum;
+}
+
+/// True when |a - b| <= atol + rtol·|b|.
+inline bool approx_equal(double a, double b, double rtol = 1e-9,
+                         double atol = 0.0) {
+    return std::abs(a - b) <= atol + rtol * std::abs(b);
+}
+
+/// Smallest power of two >= n (n >= 1).
+inline std::size_t next_pow2(std::size_t n) {
+    SDRBIST_EXPECTS(n >= 1);
+    std::size_t p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+/// True when n is a power of two (n >= 1).
+inline bool is_pow2(std::size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+/// Ceiling of a real ratio with snapping: values within `tol` of an integer
+/// are treated as that integer.  The Kohlenberg kernel index k = ceil(2·fl/B)
+/// is computed from measured frequencies, so a bare std::ceil would be
+/// unstable when 2·fl/B lands (up to rounding) on an integer.
+inline long ceil_snapped(double x, double tol = 1e-9) {
+    const double r = std::round(x);
+    if (std::abs(x - r) <= tol * std::max(1.0, std::abs(x)))
+        return static_cast<long>(r);
+    return static_cast<long>(std::ceil(x));
+}
+
+/// Wrap a phase to (-pi, pi].
+inline double wrap_phase(double phi) {
+    phi = std::fmod(phi + pi, two_pi);
+    if (phi <= 0.0)
+        phi += two_pi;
+    return phi - pi;
+}
+
+} // namespace sdrbist

@@ -1,0 +1,80 @@
+#include "core/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/contracts.hpp"
+
+namespace sdrbist {
+
+double mean(std::span<const double> x) {
+    SDRBIST_EXPECTS(!x.empty());
+    double s = 0.0;
+    for (double v : x)
+        s += v;
+    return s / static_cast<double>(x.size());
+}
+
+double variance(std::span<const double> x) {
+    SDRBIST_EXPECTS(x.size() >= 2);
+    const double m = mean(x);
+    double s = 0.0;
+    for (double v : x)
+        s += (v - m) * (v - m);
+    return s / static_cast<double>(x.size() - 1);
+}
+
+double stddev(std::span<const double> x) { return std::sqrt(variance(x)); }
+
+double rms(std::span<const double> x) {
+    SDRBIST_EXPECTS(!x.empty());
+    double s = 0.0;
+    for (double v : x)
+        s += v * v;
+    return std::sqrt(s / static_cast<double>(x.size()));
+}
+
+double max_abs(std::span<const double> x) {
+    double m = 0.0;
+    for (double v : x)
+        m = std::max(m, std::abs(v));
+    return m;
+}
+
+double mean_squared_error(std::span<const double> a,
+                          std::span<const double> b) {
+    SDRBIST_EXPECTS(!a.empty());
+    SDRBIST_EXPECTS(a.size() == b.size());
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        s += (a[i] - b[i]) * (a[i] - b[i]);
+    return s / static_cast<double>(a.size());
+}
+
+double relative_rms_error(std::span<const double> ref,
+                          std::span<const double> est) {
+    SDRBIST_EXPECTS(!ref.empty());
+    SDRBIST_EXPECTS(ref.size() == est.size());
+    double num = 0.0;
+    double den = 0.0;
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+        num += (est[i] - ref[i]) * (est[i] - ref[i]);
+        den += ref[i] * ref[i];
+    }
+    SDRBIST_EXPECTS(den > 0.0);
+    return std::sqrt(num / den);
+}
+
+double percentile(std::span<const double> x, double p) {
+    SDRBIST_EXPECTS(!x.empty());
+    SDRBIST_EXPECTS(p >= 0.0 && p <= 100.0);
+    std::vector<double> sorted(x.begin(), x.end());
+    std::sort(sorted.begin(), sorted.end());
+    const double idx = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(idx);
+    const auto hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = idx - static_cast<double>(lo);
+    return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+} // namespace sdrbist

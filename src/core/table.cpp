@@ -1,0 +1,65 @@
+#include "core/table.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "core/contracts.hpp"
+
+namespace sdrbist {
+
+text_table::text_table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+    SDRBIST_EXPECTS(!headers_.empty());
+}
+
+void text_table::add_row(std::vector<std::string> cells) {
+    SDRBIST_EXPECTS(cells.size() == headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string text_table::num(double v, int precision) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string text_table::sci(double v, int precision) {
+    std::ostringstream os;
+    os << std::scientific << std::setprecision(precision) << v;
+    return os.str();
+}
+
+void text_table::print(std::ostream& os) const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto rule = [&] {
+        os << '+';
+        for (std::size_t c = 0; c < width.size(); ++c)
+            os << std::string(width[c] + 2, '-') << '+';
+        os << '\n';
+    };
+    auto line = [&](const std::vector<std::string>& cells) {
+        os << '|';
+        for (std::size_t c = 0; c < cells.size(); ++c)
+            os << ' ' << std::left << std::setw(static_cast<int>(width[c]))
+               << cells[c] << " |";
+        os << '\n';
+    };
+
+    if (!title_.empty())
+        os << title_ << '\n';
+    rule();
+    line(headers_);
+    rule();
+    for (const auto& row : rows_)
+        line(row);
+    rule();
+}
+
+} // namespace sdrbist

@@ -1,0 +1,44 @@
+/// \file table.hpp
+/// \brief Aligned plain-text tables for the benchmark harnesses.
+///
+/// Every figure/table bench prints its rows through this formatter so the
+/// regenerated outputs look like the paper's tables and are easy to diff.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sdrbist {
+
+/// Column-aligned text table with a title, a header row and data rows.
+class text_table {
+public:
+    /// Create a table with the given column headers.
+    explicit text_table(std::vector<std::string> headers);
+
+    /// Optional single-line title printed above the table.
+    void set_title(std::string title) { title_ = std::move(title); }
+
+    /// Append a preformatted row.  Precondition: cells.size() == #columns.
+    void add_row(std::vector<std::string> cells);
+
+    /// Format a double with the given precision (helper for row building).
+    static std::string num(double v, int precision = 4);
+
+    /// Format a double in scientific notation.
+    static std::string sci(double v, int precision = 3);
+
+    /// Render with column alignment and ASCII rules.
+    void print(std::ostream& os) const;
+
+    [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+    [[nodiscard]] std::size_t columns() const { return headers_.size(); }
+
+private:
+    std::string title_;
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace sdrbist

@@ -1,0 +1,45 @@
+/// \file units.hpp
+/// \brief Physical-unit constants and dB conversions used across the library.
+///
+/// All frequencies are in Hz and all times in seconds (double precision).
+/// The constants below make configuration sites read like the paper:
+/// `90.0 * MHz`, `180.0 * ps`, `1.0 * GHz`.
+#pragma once
+
+#include <cmath>
+
+namespace sdrbist {
+
+inline constexpr double pi = 3.141592653589793238462643383279502884;
+inline constexpr double two_pi = 2.0 * pi;
+
+// ---- SI scale factors -----------------------------------------------------
+
+inline constexpr double kHz = 1e3;  ///< kilohertz in Hz
+inline constexpr double MHz = 1e6;  ///< megahertz in Hz
+inline constexpr double GHz = 1e9;  ///< gigahertz in Hz
+
+inline constexpr double ms = 1e-3;  ///< millisecond in s
+inline constexpr double us = 1e-6;  ///< microsecond in s
+inline constexpr double ns = 1e-9;  ///< nanosecond in s
+inline constexpr double ps = 1e-12; ///< picosecond in s
+
+// ---- decibel helpers ------------------------------------------------------
+
+/// Power ratio -> dB (10·log10).
+inline double db_from_power(double power_ratio) {
+    return 10.0 * std::log10(power_ratio);
+}
+
+/// Amplitude ratio -> dB (20·log10).
+inline double db_from_amplitude(double amplitude_ratio) {
+    return 20.0 * std::log10(amplitude_ratio);
+}
+
+/// dB -> power ratio.
+inline double power_from_db(double db) { return std::pow(10.0, db / 10.0); }
+
+/// dB -> amplitude ratio.
+inline double amplitude_from_db(double db) { return std::pow(10.0, db / 20.0); }
+
+} // namespace sdrbist

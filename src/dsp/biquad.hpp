@@ -1,0 +1,66 @@
+/// \file biquad.hpp
+/// \brief Biquad IIR sections and Butterworth designs (bilinear transform).
+///
+/// Models the analog anti-image lowpass after the Tx DACs and (baseband
+/// equivalent of) the RF band-select filter: both are smooth maximally-flat
+/// responses well captured by low-order Butterworth prototypes.
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace sdrbist::dsp {
+
+/// One direct-form-II-transposed biquad section:
+///   y[n] = b0·x[n] + b1·x[n-1] + b2·x[n-2] - a1·y[n-1] - a2·y[n-2]
+struct biquad {
+    double b0 = 1.0, b1 = 0.0, b2 = 0.0;
+    double a1 = 0.0, a2 = 0.0;
+
+    /// Complex response at normalised frequency f (cycles/sample).
+    [[nodiscard]] std::complex<double> response(double f_norm) const;
+};
+
+/// Cascade of biquad sections with per-channel state.
+class iir_cascade {
+public:
+    iir_cascade() = default;
+    explicit iir_cascade(std::vector<biquad> sections);
+
+    /// Process one sample through all sections (stateful).
+    double process(double x);
+
+    /// Filter a whole sequence (resets state first).
+    [[nodiscard]] std::vector<double> filter(std::span<const double> x);
+
+    /// Filter a complex sequence by filtering I and Q identically.
+    [[nodiscard]] std::vector<std::complex<double>>
+    filter(std::span<const std::complex<double>> x);
+
+    /// Clear the delay lines.
+    void reset();
+
+    /// Cascade frequency response at normalised frequency f.
+    [[nodiscard]] std::complex<double> response(double f_norm) const;
+
+    [[nodiscard]] std::size_t section_count() const { return sections_.size(); }
+    [[nodiscard]] const std::vector<biquad>& sections() const {
+        return sections_;
+    }
+
+private:
+    std::vector<biquad> sections_;
+    // One (z1, z2) pair per section, direct form II transposed.
+    std::vector<std::pair<double, double>> state_;
+};
+
+/// Butterworth lowpass of the given order with -3 dB cutoff `cutoff_hz`,
+/// discretised at rate `fs` by the pre-warped bilinear transform.
+/// Preconditions: order in [1, 12], 0 < cutoff_hz < fs/2.
+iir_cascade butterworth_lowpass(int order, double cutoff_hz, double fs);
+
+/// Butterworth highpass, same parameter rules.
+iir_cascade butterworth_highpass(int order, double cutoff_hz, double fs);
+
+} // namespace sdrbist::dsp

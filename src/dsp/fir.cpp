@@ -1,0 +1,144 @@
+#include "dsp/fir.hpp"
+
+#include <cmath>
+
+#include "core/contracts.hpp"
+#include "core/math_util.hpp"
+#include "core/units.hpp"
+
+namespace sdrbist::dsp {
+
+std::vector<double> design_lowpass_fir(std::size_t taps, double cutoff_norm,
+                                       window_kind kind, double kaiser_beta) {
+    SDRBIST_EXPECTS(taps >= 3);
+    SDRBIST_EXPECTS(cutoff_norm > 0.0 && cutoff_norm < 0.5);
+    const auto w = make_window(kind, taps, kaiser_beta);
+    const double centre = static_cast<double>(taps - 1) / 2.0;
+    std::vector<double> h(taps);
+    for (std::size_t n = 0; n < taps; ++n) {
+        const double m = static_cast<double>(n) - centre;
+        h[n] = 2.0 * cutoff_norm * sinc(2.0 * cutoff_norm * m) * w[n];
+    }
+    // Normalise DC gain to exactly 1.
+    double dc = 0.0;
+    for (double v : h)
+        dc += v;
+    SDRBIST_ENSURES(dc > 0.0);
+    for (double& v : h)
+        v /= dc;
+    return h;
+}
+
+std::vector<double> design_bandpass_fir(std::size_t taps, double f1, double f2,
+                                        window_kind kind, double kaiser_beta) {
+    SDRBIST_EXPECTS(taps >= 3);
+    SDRBIST_EXPECTS(f1 > 0.0 && f1 < f2 && f2 < 0.5);
+    const auto w = make_window(kind, taps, kaiser_beta);
+    const double centre = static_cast<double>(taps - 1) / 2.0;
+    std::vector<double> h(taps);
+    for (std::size_t n = 0; n < taps; ++n) {
+        const double m = static_cast<double>(n) - centre;
+        h[n] = (2.0 * f2 * sinc(2.0 * f2 * m) - 2.0 * f1 * sinc(2.0 * f1 * m)) *
+               w[n];
+    }
+    // Normalise gain to 1 at the band centre.
+    const double fc = 0.5 * (f1 + f2);
+    const double g = std::abs(fir_response(h, fc));
+    SDRBIST_ENSURES(g > 0.0);
+    for (double& v : h)
+        v /= g;
+    return h;
+}
+
+std::vector<double> convolve(std::span<const double> a,
+                             std::span<const double> b) {
+    SDRBIST_EXPECTS(!a.empty() && !b.empty());
+    std::vector<double> out(a.size() + b.size() - 1, 0.0);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        for (std::size_t j = 0; j < b.size(); ++j)
+            out[i + j] += a[i] * b[j];
+    return out;
+}
+
+namespace {
+template <class T>
+std::vector<T> filter_same_impl(std::span<const double> h, std::span<const T> x) {
+    SDRBIST_EXPECTS(h.size() % 2 == 1);
+    SDRBIST_EXPECTS(!x.empty());
+    const std::size_t half = h.size() / 2;
+    std::vector<T> y(x.size(), T{});
+    for (std::size_t n = 0; n < x.size(); ++n) {
+        T acc{};
+        // y[n] = sum_k h[k] * x[n + half - k], zero-padded outside.
+        for (std::size_t k = 0; k < h.size(); ++k) {
+            const auto idx = static_cast<long>(n) + static_cast<long>(half) -
+                             static_cast<long>(k);
+            if (idx >= 0 && idx < static_cast<long>(x.size()))
+                acc += h[k] * x[static_cast<std::size_t>(idx)];
+        }
+        y[n] = acc;
+    }
+    return y;
+}
+
+template <class T>
+std::vector<T> upfirdn_impl(std::span<const double> h, std::span<const T> x,
+                            std::size_t up, std::size_t down) {
+    SDRBIST_EXPECTS(up >= 1 && down >= 1);
+    SDRBIST_EXPECTS(!h.empty() && !x.empty());
+    // Virtual upsampled-and-filtered length.
+    const std::size_t full = x.size() * up + h.size() - 1;
+    const std::size_t out_len = (full + down - 1) / down;
+    std::vector<T> y(out_len, T{});
+    for (std::size_t m = 0; m < out_len; ++m) {
+        const std::size_t pos = m * down; // index in upsampled+filtered stream
+        T acc{};
+        // Only indices where the upsampled stream is non-zero contribute:
+        // pos - k = up * i  =>  k = pos - up*i.
+        const std::size_t i_max = std::min(pos / up, x.size() - 1);
+        // smallest i with k = pos - up*i < h.size()  =>  i > (pos - h.size())/up
+        std::size_t i_min = 0;
+        if (pos >= h.size())
+            i_min = (pos - h.size()) / up + 1;
+        for (std::size_t i = i_min; i <= i_max; ++i) {
+            const std::size_t k = pos - up * i;
+            if (k < h.size())
+                acc += h[k] * x[i];
+        }
+        y[m] = acc;
+    }
+    return y;
+}
+} // namespace
+
+std::vector<double> filter_same(std::span<const double> h,
+                                std::span<const double> x) {
+    return filter_same_impl<double>(h, x);
+}
+
+std::vector<std::complex<double>>
+filter_same(std::span<const double> h,
+            std::span<const std::complex<double>> x) {
+    return filter_same_impl<std::complex<double>>(h, x);
+}
+
+std::vector<double> upfirdn(std::span<const double> h,
+                            std::span<const double> x, std::size_t up,
+                            std::size_t down) {
+    return upfirdn_impl<double>(h, x, up, down);
+}
+
+std::vector<std::complex<double>>
+upfirdn(std::span<const double> h, std::span<const std::complex<double>> x,
+        std::size_t up, std::size_t down) {
+    return upfirdn_impl<std::complex<double>>(h, x, up, down);
+}
+
+std::complex<double> fir_response(std::span<const double> h, double f_norm) {
+    std::complex<double> acc{0.0, 0.0};
+    for (std::size_t n = 0; n < h.size(); ++n)
+        acc += h[n] * std::polar(1.0, -two_pi * f_norm * static_cast<double>(n));
+    return acc;
+}
+
+} // namespace sdrbist::dsp

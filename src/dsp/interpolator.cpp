@@ -1,0 +1,52 @@
+#include "dsp/interpolator.hpp"
+
+#include <cmath>
+
+#include "core/math_util.hpp"
+#include "dsp/window.hpp"
+
+namespace sdrbist::dsp {
+
+template <class T>
+sinc_interpolator<T>::sinc_interpolator(std::vector<T> samples, double rate,
+                                        std::size_t half_taps, double beta)
+    : samples_(std::move(samples)), rate_(rate), half_taps_(half_taps),
+      beta_(beta) {
+    SDRBIST_EXPECTS(rate_ > 0.0);
+    SDRBIST_EXPECTS(half_taps_ >= 4);
+    SDRBIST_EXPECTS(samples_.size() > 2 * half_taps_);
+    SDRBIST_EXPECTS(beta_ >= 0.0);
+}
+
+template <class T> T sinc_interpolator<T>::at(double t) const {
+    const double pos = t * rate_; // fractional sample index
+    const auto centre = static_cast<long>(std::floor(pos));
+    const auto n_samples = static_cast<long>(samples_.size());
+    const auto half = static_cast<long>(half_taps_);
+
+    T acc{};
+    const long lo = centre - half + 1;
+    const long hi = centre + half;
+    const double inv_half = 1.0 / static_cast<double>(half);
+    for (long n = lo; n <= hi; ++n) {
+        if (n < 0 || n >= n_samples)
+            continue;
+        const double d = pos - static_cast<double>(n);
+        const double w = kaiser_window_at(d * inv_half, beta_);
+        acc += samples_[static_cast<std::size_t>(n)] * (sinc(d) * w);
+    }
+    return acc;
+}
+
+template <class T>
+std::vector<T> sinc_interpolator<T>::at(const std::vector<double>& t) const {
+    std::vector<T> out(t.size());
+    for (std::size_t i = 0; i < t.size(); ++i)
+        out[i] = at(t[i]);
+    return out;
+}
+
+template class sinc_interpolator<double>;
+template class sinc_interpolator<std::complex<double>>;
+
+} // namespace sdrbist::dsp

@@ -1,0 +1,103 @@
+#include "dsp/psd.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/contracts.hpp"
+#include "dsp/fft.hpp"
+
+namespace sdrbist::dsp {
+
+double psd_result::band_power(double f_lo, double f_hi) const {
+    SDRBIST_EXPECTS(f_lo <= f_hi);
+    if (frequency.size() < 2)
+        return 0.0;
+    const double df = frequency[1] - frequency[0];
+    double p = 0.0;
+    for (std::size_t i = 0; i < frequency.size(); ++i)
+        if (frequency[i] >= f_lo && frequency[i] <= f_hi)
+            p += density[i] * df;
+    return p;
+}
+
+double psd_result::peak_density(double f_lo, double f_hi) const {
+    SDRBIST_EXPECTS(f_lo <= f_hi);
+    double m = 0.0;
+    for (std::size_t i = 0; i < frequency.size(); ++i)
+        if (frequency[i] >= f_lo && frequency[i] <= f_hi)
+            m = std::max(m, density[i]);
+    return m;
+}
+
+namespace {
+
+// Shared Welch machinery over complex segments.  `two_sided` selects the
+// output layout; scale follows the standard Welch normalisation
+// Pxx = |X|^2 / (fs * sum(w^2)), with one-sided doubling for real input.
+psd_result welch_impl(std::span<const std::complex<double>> x, double fs,
+                      const welch_options& opt, bool two_sided) {
+    SDRBIST_EXPECTS(fs > 0.0);
+    SDRBIST_EXPECTS(opt.segment_length >= 8);
+    SDRBIST_EXPECTS(opt.overlap >= 0.0 && opt.overlap < 1.0);
+    SDRBIST_EXPECTS(x.size() >= opt.segment_length);
+
+    const std::size_t seg = opt.segment_length;
+    const auto hop = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::lround(static_cast<double>(seg) * (1.0 - opt.overlap))));
+    const auto w = make_window(opt.window, seg, opt.kaiser_beta);
+    const double w_pow = window_power(w);
+
+    std::vector<double> acc(seg, 0.0);
+    std::size_t count = 0;
+    for (std::size_t start = 0; start + seg <= x.size(); start += hop) {
+        std::vector<cplx> buf(seg);
+        for (std::size_t i = 0; i < seg; ++i)
+            buf[i] = x[start + i] * w[i];
+        buf = fft(std::move(buf));
+        for (std::size_t i = 0; i < seg; ++i)
+            acc[i] += std::norm(buf[i]);
+        ++count;
+    }
+    SDRBIST_ENSURES(count > 0);
+
+    const double scale = 1.0 / (fs * w_pow * static_cast<double>(count));
+    for (double& v : acc)
+        v *= scale;
+
+    psd_result out;
+    out.resolution_bw = fs * w_pow / (window_sum(w) * window_sum(w));
+    if (two_sided) {
+        out.frequency = fftshift(fft_frequencies(seg, fs));
+        out.density = fftshift(std::move(acc));
+    } else {
+        const std::size_t half = seg / 2 + 1;
+        out.frequency.resize(half);
+        out.density.resize(half);
+        const double df = fs / static_cast<double>(seg);
+        for (std::size_t i = 0; i < half; ++i) {
+            out.frequency[i] = df * static_cast<double>(i);
+            // One-sided: double all bins except DC and Nyquist.
+            const bool edge = (i == 0) || (seg % 2 == 0 && i == half - 1);
+            out.density[i] = acc[i] * (edge ? 1.0 : 2.0);
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+psd_result welch_psd(std::span<const double> x, double fs,
+                     const welch_options& opt) {
+    std::vector<std::complex<double>> c(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i)
+        c[i] = {x[i], 0.0};
+    return welch_impl(c, fs, opt, /*two_sided=*/false);
+}
+
+psd_result welch_psd(std::span<const std::complex<double>> x, double fs,
+                     const welch_options& opt) {
+    return welch_impl(x, fs, opt, /*two_sided=*/true);
+}
+
+} // namespace sdrbist::dsp

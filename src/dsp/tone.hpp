@@ -1,0 +1,35 @@
+/// \file tone.hpp
+/// \brief Single-frequency analysis: Goertzel bins, arbitrary-frequency DFT
+///        and IEEE-1057-style three-parameter sine fitting.
+///
+/// The Jamal-style time-skew baseline estimates per-channel phase of a known
+/// test sinusoid; the sine fit here is its measurement core.
+#pragma once
+
+#include <complex>
+#include <span>
+
+namespace sdrbist::dsp {
+
+/// Goertzel evaluation of the DFT at integer bin k of an n-point transform.
+/// Equivalent to fft(x)[k] but O(n) for one bin.
+std::complex<double> goertzel_bin(std::span<const double> x, std::size_t k);
+
+/// Direct DFT-style correlation at an arbitrary normalised frequency
+/// f_norm in cycles/sample: sum x[n]·exp(-j·2π·f_norm·n).
+std::complex<double> single_tone_dft(std::span<const double> x, double f_norm);
+
+/// Result of a three-parameter least-squares sine fit
+/// x[n] ≈ amplitude·cos(2π·f_norm·n + phase) + offset.
+struct sine_fit_result {
+    double amplitude = 0.0;
+    double phase = 0.0; ///< radians, in (-pi, pi]
+    double offset = 0.0;
+    double residual_rms = 0.0; ///< RMS of fit residual
+};
+
+/// Three-parameter (known-frequency) least-squares sine fit, IEEE 1057.
+/// Precondition: x.size() >= 4, 0 < f_norm < 0.5.
+sine_fit_result sine_fit_3param(std::span<const double> x, double f_norm);
+
+} // namespace sdrbist::dsp

@@ -1,0 +1,100 @@
+/// \file pa.hpp
+/// \brief Power-amplifier behavioural models (memoryless AM/AM–AM/PM plus a
+///        memory-polynomial extension).
+///
+/// The BIST's reason to exist is observing the PA output: compression and
+/// spectral regrowth are what the spectral mask check must catch.
+#pragma once
+
+#include <complex>
+#include <memory>
+#include <vector>
+
+namespace sdrbist::rf {
+
+/// Interface: complex-envelope in, complex-envelope out.
+class pa_model {
+public:
+    virtual ~pa_model() = default;
+
+    /// Instantaneous envelope transfer.
+    [[nodiscard]] virtual std::complex<double>
+    amplify(std::complex<double> in) const = 0;
+
+    /// Apply to a whole envelope (default: sample-wise; memory models
+    /// override).
+    [[nodiscard]] virtual std::vector<std::complex<double>>
+    process(const std::vector<std::complex<double>>& env) const;
+
+    /// Small-signal voltage gain (linear).
+    [[nodiscard]] virtual double small_signal_gain() const = 0;
+};
+
+/// Ideal linear PA.
+class linear_pa final : public pa_model {
+public:
+    explicit linear_pa(double gain_db);
+    [[nodiscard]] std::complex<double>
+    amplify(std::complex<double> in) const override;
+    [[nodiscard]] double small_signal_gain() const override { return gain_; }
+
+private:
+    double gain_;
+};
+
+/// Rapp solid-state PA model (AM/AM only):
+///   |out| = G·|in| / (1 + (G·|in|/A_sat)^{2p})^{1/(2p)}
+class rapp_pa final : public pa_model {
+public:
+    /// \param gain_db        small-signal gain
+    /// \param sat_amplitude  output saturation amplitude A_sat (> 0)
+    /// \param smoothness     knee sharpness p (>= 0.5; 2–3 typical for SSPA)
+    rapp_pa(double gain_db, double sat_amplitude, double smoothness);
+
+    [[nodiscard]] std::complex<double>
+    amplify(std::complex<double> in) const override;
+    [[nodiscard]] double small_signal_gain() const override { return gain_; }
+
+    /// Input amplitude at which gain is compressed by `comp_db` dB.
+    [[nodiscard]] double input_compression_point(double comp_db) const;
+
+private:
+    double gain_;
+    double sat_;
+    double p_;
+};
+
+/// Saleh TWTA model (AM/AM and AM/PM):
+///   A(r) = aa·r/(1+ba·r^2),  Phi(r) = ap·r^2/(1+bp·r^2)  [radians]
+class saleh_pa final : public pa_model {
+public:
+    saleh_pa(double alpha_a, double beta_a, double alpha_phi, double beta_phi);
+
+    [[nodiscard]] std::complex<double>
+    amplify(std::complex<double> in) const override;
+    [[nodiscard]] double small_signal_gain() const override { return aa_; }
+
+private:
+    double aa_, ba_, ap_, bp_;
+};
+
+/// Odd-order memory polynomial:
+///   y[n] = sum_{q=0}^{Q-1} sum_{k in {1,3,5,...}} c[q][k]·x[n-q]·|x[n-q]|^{k-1}
+/// Captures dynamic (memory) PA effects the memoryless models cannot.
+class memory_polynomial_pa final : public pa_model {
+public:
+    /// coefficients[q][j] multiplies x[n-q]·|x[n-q]|^{2j} (j = 0 is linear).
+    explicit memory_polynomial_pa(
+        std::vector<std::vector<std::complex<double>>> coefficients);
+
+    [[nodiscard]] std::complex<double>
+    amplify(std::complex<double> in) const override; ///< memoryless part only
+    [[nodiscard]] std::vector<std::complex<double>>
+    process(const std::vector<std::complex<double>>& env) const override;
+    [[nodiscard]] double small_signal_gain() const override;
+
+private:
+    std::vector<std::vector<std::complex<double>>> coeff_; // [delay][order]
+};
+
+} // namespace sdrbist::rf

@@ -1,0 +1,59 @@
+#include "rf/passband.hpp"
+
+#include <cmath>
+
+#include "core/contracts.hpp"
+#include "core/units.hpp"
+
+namespace sdrbist::rf {
+
+std::vector<double>
+passband_signal::values(const std::vector<double>& t) const {
+    std::vector<double> out(t.size());
+    for (std::size_t i = 0; i < t.size(); ++i)
+        out[i] = value(t[i]);
+    return out;
+}
+
+envelope_passband::envelope_passband(
+    std::vector<std::complex<double>> envelope, double envelope_rate,
+    double carrier_hz, std::size_t interp_half_taps)
+    : interp_(std::move(envelope), envelope_rate, interp_half_taps),
+      carrier_hz_(carrier_hz) {
+    SDRBIST_EXPECTS(carrier_hz_ > 0.0);
+    // The envelope must be strictly oversampled for interpolation to hold.
+    SDRBIST_EXPECTS(envelope_rate > 0.0);
+}
+
+double envelope_passband::value(double t) const {
+    const std::complex<double> e = interp_.at(t);
+    // Re{E·e^{jwt}} with the carrier phase computed in full double precision.
+    const double wt = two_pi * carrier_hz_ * t;
+    return e.real() * std::cos(wt) - e.imag() * std::sin(wt);
+}
+
+double envelope_passband::begin_time() const { return interp_.valid_begin(); }
+
+double envelope_passband::end_time() const { return interp_.valid_end(); }
+
+std::complex<double> envelope_passband::envelope_at(double t) const {
+    return interp_.at(t);
+}
+
+multitone_signal::multitone_signal(std::vector<tone> tones, double duration_s)
+    : tones_(std::move(tones)), duration_(duration_s) {
+    SDRBIST_EXPECTS(!tones_.empty());
+    SDRBIST_EXPECTS(duration_ > 0.0);
+    for (const auto& tn : tones_)
+        SDRBIST_EXPECTS(tn.frequency_hz > 0.0);
+}
+
+double multitone_signal::value(double t) const {
+    double acc = 0.0;
+    for (const auto& tn : tones_)
+        acc += tn.amplitude * std::cos(two_pi * tn.frequency_hz * t +
+                                       tn.phase_rad);
+    return acc;
+}
+
+} // namespace sdrbist::rf

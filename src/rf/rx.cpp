@@ -1,0 +1,57 @@
+#include "rf/rx.hpp"
+
+#include "core/contracts.hpp"
+#include "core/units.hpp"
+
+namespace sdrbist::rf {
+
+homodyne_rx::homodyne_rx(rx_config config) : config_(config) {
+    SDRBIST_EXPECTS(config_.filter_order >= 1 && config_.filter_order <= 12);
+}
+
+cvec homodyne_rx::receive(const cvec& tx_envelope, double envelope_rate,
+                          double loopback_gain_db) const {
+    SDRBIST_EXPECTS(!tx_envelope.empty());
+    SDRBIST_EXPECTS(envelope_rate > 0.0);
+    rng gen(config_.seed);
+
+    // 1. Loopback attenuation + LNA.
+    const double gain =
+        amplitude_from_db(loopback_gain_db + config_.lna_gain_db);
+    cvec env(tx_envelope.size());
+    for (std::size_t n = 0; n < env.size(); ++n)
+        env[n] = gain * tx_envelope[n];
+
+    // 2. Receiver LO phase noise (multiplicative, independent of the Tx LO
+    // in this model: a separate synthesiser).
+    if (config_.lo_phase_noise.linewidth_hz > 0.0) {
+        rng pn = gen.fork();
+        env = config_.lo_phase_noise.apply(env, envelope_rate, pn);
+    }
+
+    // 3. Quadrature demodulator: the receive-side IQ imbalance acts on the
+    // downconverted I/Q pair exactly like the Tx model (same baseband
+    // equivalence), followed by demodulator DC offset.
+    env = config_.imbalance.apply(env);
+    env = config_.dc_offset.apply(env);
+
+    // 4. Channel-select lowpass.
+    {
+        const double cutoff = config_.filter_cutoff_hz > 0.0
+                                  ? config_.filter_cutoff_hz
+                                  : 0.35 * envelope_rate;
+        auto lpf = dsp::butterworth_lowpass(config_.filter_order, cutoff,
+                                            envelope_rate);
+        env = lpf.filter(std::span<const std::complex<double>>(env.data(),
+                                                               env.size()));
+    }
+
+    // 5. Receiver noise floor.
+    {
+        rng nz = gen.fork();
+        env = config_.noise.apply(env, nz);
+    }
+    return env;
+}
+
+} // namespace sdrbist::rf

@@ -1,0 +1,55 @@
+/// \file rx.hpp
+/// \brief Behavioural model of the homodyne receiver chain (paper Fig. 1,
+///        lower half): LNA, quadrature demodulator with its own
+///        impairments, baseband filters.
+///
+/// The receiver exists in this library to reproduce the paper's *argument
+/// against loopback BIST* (§I): in a Tx->Rx loopback test a marginal
+/// transmitter can be masked by a complementary receiver error ("fault
+/// masking"), which is exactly what the PA-output BIST avoids.
+#pragma once
+
+#include "core/random.hpp"
+#include "dsp/biquad.hpp"
+#include "rf/impairments.hpp"
+#include "rf/tx.hpp"
+
+namespace sdrbist::rf {
+
+/// Receiver configuration.
+struct rx_config {
+    double lna_gain_db = 10.0;
+
+    // Quadrature demodulator impairments (independent of the Tx ones).
+    iq_imbalance imbalance{};
+    lo_leakage dc_offset{-90.0, 0.0}; ///< demodulator DC offset
+    phase_noise lo_phase_noise{0.0};
+
+    // Channel-select lowpass.
+    int filter_order = 5;
+    double filter_cutoff_hz = 0.0; ///< 0 = auto (0.35 × envelope rate)
+
+    // Receiver noise figure, expressed as output SNR for a 0 dB input.
+    thermal_noise noise{60.0};
+
+    std::uint64_t seed = 0x5EC; ///< drives phase noise + thermal noise
+};
+
+/// Homodyne receiver: complex envelope in (the Tx output tapped through the
+/// loopback path), complex baseband out.
+class homodyne_rx {
+public:
+    explicit homodyne_rx(rx_config config);
+
+    /// Demodulate a transmitter output envelope (baseband-equivalent
+    /// processing; the loopback attenuator is `loopback_gain_db`).
+    [[nodiscard]] cvec receive(const cvec& tx_envelope, double envelope_rate,
+                               double loopback_gain_db = -30.0) const;
+
+    [[nodiscard]] const rx_config& config() const { return config_; }
+
+private:
+    rx_config config_;
+};
+
+} // namespace sdrbist::rf

@@ -1,0 +1,45 @@
+/// \file band.hpp
+/// \brief Bandpass spectral support description (paper Fig. 2):
+///        F(ν) non-zero only for f_lo < |ν| < f_hi.
+#pragma once
+
+#include "core/contracts.hpp"
+
+namespace sdrbist::sampling {
+
+/// Positive-frequency support [f_lo, f_hi] of a real bandpass signal.
+struct band_spec {
+    double f_lo = 0.0; ///< lower band edge, Hz (> 0 for bandpass)
+    double f_hi = 0.0; ///< upper band edge, Hz
+
+    /// Information bandwidth B = f_hi - f_lo.
+    [[nodiscard]] double bandwidth() const { return f_hi - f_lo; }
+
+    /// Band centre (carrier) frequency.
+    [[nodiscard]] double centre() const { return 0.5 * (f_lo + f_hi); }
+
+    /// Band position ratio f_hi / B — drives PBS feasibility (Fig. 3).
+    [[nodiscard]] double position_ratio() const {
+        return f_hi / bandwidth();
+    }
+
+    /// True when f is inside the positive band.
+    [[nodiscard]] bool contains(double f) const {
+        return f >= f_lo && f <= f_hi;
+    }
+
+    /// Validate invariants (0 <= f_lo < f_hi).
+    void validate() const {
+        SDRBIST_EXPECTS(f_lo >= 0.0);
+        SDRBIST_EXPECTS(f_hi > f_lo);
+    }
+};
+
+/// Band of width `bandwidth` centred at `centre` (convenience).
+inline band_spec band_around(double centre, double bandwidth) {
+    band_spec b{centre - bandwidth / 2.0, centre + bandwidth / 2.0};
+    b.validate();
+    return b;
+}
+
+} // namespace sdrbist::sampling

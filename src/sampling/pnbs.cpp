@@ -1,0 +1,216 @@
+#include "sampling/pnbs.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/contracts.hpp"
+#include "core/math_util.hpp"
+#include "core/units.hpp"
+#include "dsp/window.hpp"
+
+namespace sdrbist::sampling {
+
+// ---- kernel -----------------------------------------------------------------
+
+kohlenberg_kernel::kohlenberg_kernel(const band_spec& band, double delay)
+    : band_(band), delay_(delay) {
+    band_.validate();
+    SDRBIST_EXPECTS(delay_ > 0.0);
+    const double b = band_.bandwidth();
+    const double fl = band_.f_lo;
+    k_ = ceil_snapped(2.0 * fl / b);
+    const double kd = static_cast<double>(k_);
+
+    // s0 product-form coefficients.
+    f0_ = kd * b - 2.0 * fl;       // sinc argument frequency (may be 0)
+    c0_ = f0_ / b;                 // t = 0 value of the s0 envelope
+    a0_ = pi * kd * b;             // sin argument slope
+    phi_ = kd * pi * b * delay_;
+    sin_phi_ = std::sin(phi_);
+    s0_vanishes_ = std::abs(c0_) < 1e-12;
+
+    // s1 coefficients (k⁺ = k + 1).
+    const double kp = kd + 1.0;
+    f1_ = 2.0 * fl + b - kd * b;   // = B - f0
+    c1_ = f1_ / b;
+    a1_ = pi * kp * b;
+    psi_ = kp * pi * b * delay_;
+    sin_psi_ = std::sin(psi_);
+
+    // Paper eq. (3): instability when D hits n·T/k (unless s0 vanishes)
+    // or n·T/k⁺.
+    if (!s0_vanishes_)
+        SDRBIST_EXPECTS(std::abs(sin_phi_) > 1e-9);
+    SDRBIST_EXPECTS(std::abs(sin_psi_) > 1e-9);
+}
+
+double kohlenberg_kernel::s0(double t) const {
+    if (s0_vanishes_)
+        return 0.0;
+    return -std::sin(a0_ * t - phi_) * c0_ * sinc(f0_ * t) / sin_phi_;
+}
+
+double kohlenberg_kernel::s1(double t) const {
+    return -std::sin(a1_ * t - psi_) * c1_ * sinc(f1_ * t) / sin_psi_;
+}
+
+bool kohlenberg_kernel::delay_is_stable(const band_spec& band, double delay,
+                                        double rel_tol) {
+    band.validate();
+    if (delay <= 0.0)
+        return false;
+    const double b = band.bandwidth();
+    const double t = 1.0 / b;
+    const long k = ceil_snapped(2.0 * band.f_lo / b);
+    const bool s0_vanishes = std::abs(k * b - 2.0 * band.f_lo) < 1e-12 * b;
+
+    auto near_multiple = [&](double step) {
+        const double q = delay / step;
+        return std::abs(q - std::round(q)) * step < rel_tol * t;
+    };
+    if (!s0_vanishes && near_multiple(t / static_cast<double>(k)))
+        return false;
+    if (near_multiple(t / static_cast<double>(k + 1)))
+        return false;
+    return true;
+}
+
+std::vector<double>
+kohlenberg_kernel::forbidden_delays(const band_spec& band, double max_delay) {
+    band.validate();
+    SDRBIST_EXPECTS(max_delay > 0.0);
+    const double b = band.bandwidth();
+    const double t = 1.0 / b;
+    const long k = ceil_snapped(2.0 * band.f_lo / b);
+    const bool s0_vanishes = std::abs(k * b - 2.0 * band.f_lo) < 1e-12 * b;
+
+    std::vector<double> out;
+    auto add_multiples = [&](double step) {
+        for (double d = step; d <= max_delay * (1.0 + 1e-12); d += step)
+            out.push_back(d);
+    };
+    if (!s0_vanishes)
+        add_multiples(t / static_cast<double>(k));
+    add_multiples(t / static_cast<double>(k + 1));
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end(),
+                          [&](double a, double c) {
+                              return std::abs(a - c) < 1e-18;
+                          }),
+              out.end());
+    return out;
+}
+
+double kohlenberg_kernel::optimal_delay(const band_spec& band) {
+    band.validate();
+    return 1.0 / (4.0 * band.centre());
+}
+
+double kohlenberg_kernel::error_bound(const band_spec& band, double delta_d) {
+    band.validate();
+    const double b = band.bandwidth();
+    const long k = ceil_snapped(2.0 * band.f_lo / b);
+    return pi * b * static_cast<double>(k + 1) * std::abs(delta_d);
+}
+
+double kohlenberg_kernel::required_delay_accuracy(const band_spec& band,
+                                                  double delta_f) {
+    band.validate();
+    SDRBIST_EXPECTS(delta_f > 0.0);
+    const double b = band.bandwidth();
+    const long k = ceil_snapped(2.0 * band.f_lo / b);
+    return delta_f / (pi * b * static_cast<double>(k + 1));
+}
+
+// ---- reconstructor ----------------------------------------------------------
+
+pnbs_reconstructor::pnbs_reconstructor(std::vector<double> even,
+                                       std::vector<double> odd, double period,
+                                       double t_start, const band_spec& band,
+                                       double delay_hypothesis,
+                                       const pnbs_options& opt)
+    : even_(std::move(even)), odd_(std::move(odd)), period_(period),
+      t_start_(t_start), kernel_(band, delay_hypothesis), opt_(opt) {
+    SDRBIST_EXPECTS(period_ > 0.0);
+    SDRBIST_EXPECTS(even_.size() == odd_.size());
+    SDRBIST_EXPECTS(opt_.taps >= 5 && opt_.taps % 2 == 1);
+    SDRBIST_EXPECTS(even_.size() > opt_.taps);
+    // The kernel assumes T = 1/B; the caller's period must match the band.
+    SDRBIST_EXPECTS(approx_equal(period_ * band.bandwidth(), 1.0, 1e-9));
+
+    // Kaiser LUT over u in [0, 1] (symmetric window, linear interpolation).
+    constexpr std::size_t lut_size = 2048;
+    window_lut_.resize(lut_size + 1);
+    for (std::size_t i = 0; i <= lut_size; ++i)
+        window_lut_[i] = dsp::kaiser_window_at(
+            static_cast<double>(i) / static_cast<double>(lut_size),
+            opt_.kaiser_beta);
+}
+
+double pnbs_reconstructor::window_at(double u) const {
+    u = std::abs(u);
+    if (u >= 1.0)
+        return 0.0;
+    const double pos = u * static_cast<double>(window_lut_.size() - 1);
+    const auto i = static_cast<std::size_t>(pos);
+    const double frac = pos - static_cast<double>(i);
+    return window_lut_[i] + frac * (window_lut_[i + 1] - window_lut_[i]);
+}
+
+double pnbs_reconstructor::value(double t) const {
+    const double tr = t - t_start_;
+    const double pos = tr / period_;
+    const auto centre = static_cast<long>(std::llround(pos));
+    const auto half = static_cast<long>(opt_.taps / 2);
+    const auto n_max = static_cast<long>(even_.size()) - 1;
+    const double half_span = static_cast<double>(half) + 1.0;
+    const double d_hat = kernel_.delay();
+    const double d_frac = d_hat / period_;
+
+    double acc = 0.0;
+    for (long n = centre - half; n <= centre + half; ++n) {
+        if (n < 0 || n > n_max)
+            continue;
+        const double nt = static_cast<double>(n) * period_;
+        // Even stream: f(nT)·s(t - nT), windowed by distance in periods.
+        const double u0 = (pos - static_cast<double>(n)) / half_span;
+        acc += even_[static_cast<std::size_t>(n)] * kernel_.s(tr - nt) *
+               window_at(u0);
+        // Odd stream: f(nT+D)·s(nT + D - t).
+        const double u1 =
+            (pos - static_cast<double>(n) - d_frac) / half_span;
+        acc += odd_[static_cast<std::size_t>(n)] * kernel_.s(nt + d_hat - tr) *
+               window_at(u1);
+    }
+    return acc;
+}
+
+std::vector<double>
+pnbs_reconstructor::values(const std::vector<double>& t) const {
+    std::vector<double> out(t.size());
+    for (std::size_t i = 0; i < t.size(); ++i)
+        out[i] = value(t[i]);
+    return out;
+}
+
+std::vector<double> pnbs_reconstructor::uniform(double t0, double rate,
+                                                std::size_t n) const {
+    SDRBIST_EXPECTS(rate > 0.0);
+    std::vector<double> out(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = value(t0 + static_cast<double>(i) / rate);
+    return out;
+}
+
+double pnbs_reconstructor::valid_begin() const {
+    return t_start_ + static_cast<double>(opt_.taps / 2 + 1) * period_;
+}
+
+double pnbs_reconstructor::valid_end() const {
+    return t_start_ +
+           (static_cast<double>(even_.size()) -
+            static_cast<double>(opt_.taps / 2) - 2.0) *
+               period_;
+}
+
+} // namespace sdrbist::sampling

@@ -1,0 +1,133 @@
+/// \file pnbs.hpp
+/// \brief Second-order Periodically Nonuniform Bandpass Sampling (PNBS):
+///        the Kohlenberg interpolation kernel (paper eqs. (1)–(3)) and the
+///        truncated, Kaiser-windowed reconstructor (eq. (6)).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sampling/band.hpp"
+
+namespace sdrbist::sampling {
+
+/// Kohlenberg second-order interpolation kernel s(t) = s0(t) + s1(t) for a
+/// band [f_lo, f_hi] sampled as two uniform streams f(nT), f(nT+D) with
+/// T = 1/B.
+///
+/// Implementation note: the paper's eq. (2) quotient form has a removable
+/// singularity at t = 0; we evaluate the algebraically equivalent
+/// product form
+///   s0(t) = -sin(π·k·B·t - φ) · (k - 2·f_lo/B) · sinc((k·B-2·f_lo)·t) / sin φ
+/// (and analogously s1 with k⁺, ψ), which is stable for all t.
+/// φ = k·π·B·D, ψ = k⁺·π·B·D.
+class kohlenberg_kernel {
+public:
+    /// \param band  signal band; T is implied as 1/bandwidth
+    /// \param delay the inter-stream delay D (or its estimate D̂)
+    /// Preconditions: band valid; D stable (not at a forbidden value —
+    /// check with delay_is_stable() first; construction enforces it).
+    kohlenberg_kernel(const band_spec& band, double delay);
+
+    /// Kernel value s(t).
+    [[nodiscard]] double s(double t) const { return s0(t) + s1(t); }
+
+    /// First kernel term (vanishes identically when 2·f_lo/B is integer).
+    [[nodiscard]] double s0(double t) const;
+
+    /// Second kernel term.
+    [[nodiscard]] double s1(double t) const;
+
+    /// k = ceil(2·f_lo/B)  (paper eq. (2d)).
+    [[nodiscard]] long k() const { return k_; }
+
+    /// k⁺ = k + 1.
+    [[nodiscard]] long k_plus() const { return k_ + 1; }
+
+    [[nodiscard]] double delay() const { return delay_; }
+    [[nodiscard]] const band_spec& band() const { return band_; }
+
+    /// Stability test of a candidate delay (paper eq. (3)): D must not be a
+    /// multiple of T/k or T/k⁺ (within a relative tolerance of T).
+    static bool delay_is_stable(const band_spec& band, double delay,
+                                double rel_tol = 1e-6);
+
+    /// All forbidden delays n·T/k and n·T/k⁺ in (0, max_delay].
+    static std::vector<double> forbidden_delays(const band_spec& band,
+                                                double max_delay);
+
+    /// Magnitude-optimal delay |D| = 1/(4·fc) (paper §II-B1, from [12]).
+    static double optimal_delay(const band_spec& band);
+
+    /// First-order reconstruction error bound (paper eq. (4)):
+    /// ΔF ≈ π·B·(k+1)·ΔD for a delay-estimate error ΔD.
+    static double error_bound(const band_spec& band, double delta_d);
+
+    /// Inverse of error_bound: the |ΔD| tolerated for a relative spectrum
+    /// error ΔF (paper example eq. (5): 1 % at 1 GHz/80 MHz -> ~2 ps).
+    static double required_delay_accuracy(const band_spec& band,
+                                          double delta_f);
+
+private:
+    band_spec band_;
+    double delay_;
+    long k_;
+    // Precomputed coefficients of the product form.
+    double a0_, f0_, c0_, sin_phi_, phi_;
+    double a1_, f1_, c1_, sin_psi_, psi_;
+    bool s0_vanishes_;
+};
+
+/// Reconstruction options for the truncated kernel (paper: 61 taps, Kaiser).
+struct pnbs_options {
+    std::size_t taps = 61;    ///< number of sample pairs in the window (odd)
+    double kaiser_beta = 8.0; ///< window shape for kernel truncation
+};
+
+/// Practical PNBS reconstructor (paper eq. (6)): evaluates
+///   f(t) ≈ Σ_{n in window} [ f(nT)·s(t-nT) + f(nT+D̂)·s(nT+D̂-t) ]·w(·)
+/// from finite records of the two sample streams.
+class pnbs_reconstructor {
+public:
+    /// \param even     f(t_start + n·T) record
+    /// \param odd      f(t_start + n·T + D) record
+    /// \param period   T = 1/B
+    /// \param t_start  absolute time of even[0]
+    /// \param band     assumed signal band (defines the kernel)
+    /// \param delay_hypothesis D̂ used for reconstruction
+    /// \param opt      taps / window
+    pnbs_reconstructor(std::vector<double> even, std::vector<double> odd,
+                       double period, double t_start, const band_spec& band,
+                       double delay_hypothesis, const pnbs_options& opt = {});
+
+    /// Reconstructed value at absolute time t.
+    [[nodiscard]] double value(double t) const;
+
+    /// Batch evaluation.
+    [[nodiscard]] std::vector<double>
+    values(const std::vector<double>& t) const;
+
+    /// Uniform-grid evaluation: n values at t0, t0+1/rate, ...
+    [[nodiscard]] std::vector<double> uniform(double t0, double rate,
+                                              std::size_t n) const;
+
+    /// Earliest/latest t with the full tap window inside the records.
+    [[nodiscard]] double valid_begin() const;
+    [[nodiscard]] double valid_end() const;
+
+    [[nodiscard]] const kohlenberg_kernel& kernel() const { return kernel_; }
+    [[nodiscard]] double period() const { return period_; }
+
+private:
+    std::vector<double> even_;
+    std::vector<double> odd_;
+    double period_;
+    double t_start_;
+    kohlenberg_kernel kernel_;
+    pnbs_options opt_;
+    std::vector<double> window_lut_; ///< Kaiser window on [0, 1], LUT
+
+    [[nodiscard]] double window_at(double u) const; // |u| in [0,1]
+};
+
+} // namespace sdrbist::sampling

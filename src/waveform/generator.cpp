@@ -1,0 +1,50 @@
+#include "waveform/generator.hpp"
+
+#include "core/contracts.hpp"
+#include "dsp/fir.hpp"
+#include "waveform/srrc.hpp"
+
+namespace sdrbist::waveform {
+
+baseband_waveform generate_baseband(const generator_config& config) {
+    SDRBIST_EXPECTS(config.symbol_rate > 0.0);
+    SDRBIST_EXPECTS(config.oversample >= 2);
+    SDRBIST_EXPECTS(config.symbol_count >= 16);
+
+    const constellation con(config.mod);
+    prbs_generator prbs(config.data, config.prbs_seed);
+    const auto bits = prbs.bits(config.symbol_count *
+                                static_cast<std::size_t>(con.bits_per_symbol()));
+    auto symbols = con.map_stream(bits);
+
+    const auto taps =
+        srrc_taps(config.rolloff, config.oversample, config.span_symbols);
+
+    // Upsample-and-filter with the SRRC (polyphase upfirdn, up = oversample).
+    // With unit-energy taps, a gain of sqrt(oversample) makes both the
+    // envelope power (~1 for a unit-power constellation) and the
+    // symbol-instant amplitude (~srrc(0)·symbol) independent of the
+    // oversampling factor.
+    std::vector<std::complex<double>> scaled(symbols.size());
+    const double gain = std::sqrt(static_cast<double>(config.oversample));
+    for (std::size_t i = 0; i < symbols.size(); ++i)
+        scaled[i] = symbols[i] * gain;
+
+    auto env = dsp::upfirdn(taps,
+                            std::span<const std::complex<double>>(
+                                scaled.data(), scaled.size()),
+                            config.oversample, 1);
+
+    baseband_waveform wf;
+    wf.samples = std::move(env);
+    wf.sample_rate = config.symbol_rate * static_cast<double>(config.oversample);
+    wf.symbol_rate = config.symbol_rate;
+    wf.rolloff = config.rolloff;
+    wf.oversample = config.oversample;
+    wf.shaper_delay_samples = config.span_symbols * config.oversample;
+    wf.symbols = std::move(symbols);
+    wf.mod = config.mod;
+    return wf;
+}
+
+} // namespace sdrbist::waveform

@@ -1,0 +1,57 @@
+/// \file generator.hpp
+/// \brief Baseband I/Q stimulus generation: PRBS bits -> constellation
+///        symbols -> SRRC-shaped complex envelope.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "waveform/constellation.hpp"
+#include "waveform/prbs.hpp"
+
+namespace sdrbist::waveform {
+
+/// A generated complex-envelope waveform plus everything needed to
+/// regenerate or demodulate it.
+struct baseband_waveform {
+    std::vector<std::complex<double>> samples; ///< envelope at `sample_rate`
+    double sample_rate = 0.0;                  ///< Hz
+    double symbol_rate = 0.0;                  ///< symbols/s
+    double rolloff = 0.0;                      ///< SRRC alpha
+    std::size_t oversample = 0;                ///< samples per symbol
+    std::size_t shaper_delay_samples = 0;      ///< SRRC group delay
+    std::vector<std::complex<double>> symbols; ///< transmitted symbols
+    modulation mod = modulation::qpsk;
+
+    /// Duration in seconds.
+    [[nodiscard]] double duration() const {
+        return static_cast<double>(samples.size()) / sample_rate;
+    }
+
+    /// Time (seconds) at which symbol k peaks in `samples`.
+    [[nodiscard]] double symbol_instant(std::size_t k) const {
+        return (static_cast<double>(k * oversample) +
+                static_cast<double>(shaper_delay_samples)) /
+               sample_rate;
+    }
+};
+
+/// Stimulus generator configuration.
+struct generator_config {
+    modulation mod = modulation::qpsk;
+    double symbol_rate = 10e6;       ///< symbols/s (paper: 10 MHz QPSK)
+    double rolloff = 0.5;            ///< SRRC alpha (paper: 0.5)
+    std::size_t oversample = 16;     ///< samples per symbol
+    std::size_t span_symbols = 8;    ///< one-sided SRRC span
+    std::size_t symbol_count = 256;  ///< number of data symbols
+    prbs_order data = prbs_order::prbs15;
+    std::uint32_t prbs_seed = 0x5A5A; ///< stimulus repeatability seed
+};
+
+/// Generate the SRRC-shaped complex envelope for the configuration.
+/// The envelope is deterministic in the seed: BIST captures at different
+/// ADC rates replay the identical waveform (trigger-aligned).
+baseband_waveform generate_baseband(const generator_config& config);
+
+} // namespace sdrbist::waveform

@@ -1,0 +1,100 @@
+#include "waveform/standard.hpp"
+
+#include "core/contracts.hpp"
+#include "core/units.hpp"
+
+namespace sdrbist::waveform {
+
+standard_preset paper_qpsk_preset() {
+    generator_config g;
+    g.mod = modulation::qpsk;
+    g.symbol_rate = 10.0 * MHz;
+    g.rolloff = 0.5;
+    g.oversample = 16;
+    g.span_symbols = 8;
+    g.symbol_count = 256;
+    return standard_preset{
+        "paper-qpsk-10M",
+        g,
+        make_narrowband_mask(g.symbol_rate, g.rolloff),
+        1.0 * GHz,
+    };
+}
+
+std::vector<standard_preset> standard_catalogue() {
+    std::vector<standard_preset> cat;
+    cat.push_back(paper_qpsk_preset());
+
+    {
+        generator_config g;
+        g.mod = modulation::bpsk;
+        g.symbol_rate = 2.0 * MHz;
+        g.rolloff = 0.35;
+        g.oversample = 16;
+        g.span_symbols = 10;
+        g.symbol_count = 256;
+        cat.push_back({"tactical-bpsk-2M", g,
+                       make_narrowband_mask(g.symbol_rate, g.rolloff),
+                       400.0 * MHz});
+    }
+    {
+        generator_config g;
+        g.mod = modulation::psk8;
+        g.symbol_rate = 5.0 * MHz;
+        g.rolloff = 0.35;
+        g.oversample = 16;
+        g.span_symbols = 10;
+        g.symbol_count = 256;
+        cat.push_back({"psk8-5M", g,
+                       make_narrowband_mask(g.symbol_rate, g.rolloff),
+                       900.0 * MHz});
+    }
+    {
+        generator_config g;
+        g.mod = modulation::qam16;
+        g.symbol_rate = 10.0 * MHz;
+        g.rolloff = 0.25;
+        g.oversample = 16;
+        g.span_symbols = 10;
+        g.symbol_count = 256;
+        cat.push_back({"qam16-10M", g,
+                       make_narrowband_mask(g.symbol_rate, g.rolloff),
+                       1.2 * GHz});
+    }
+    {
+        generator_config g;
+        g.mod = modulation::qam64;
+        g.symbol_rate = 15.0 * MHz;
+        g.rolloff = 0.25;
+        g.oversample = 16;
+        g.span_symbols = 10;
+        g.symbol_count = 256;
+        cat.push_back({"qam64-15M", g,
+                       make_narrowband_mask(g.symbol_rate, g.rolloff),
+                       2.0 * GHz});
+    }
+    {
+        // TETRA-class differential modulation in the UHF tactical band.
+        generator_config g;
+        g.mod = modulation::dqpsk_pi4;
+        g.symbol_rate = 1.0 * MHz;
+        g.rolloff = 0.35;
+        g.oversample = 16;
+        g.span_symbols = 10;
+        g.symbol_count = 256;
+        cat.push_back({"dqpsk-1M", g,
+                       make_narrowband_mask(g.symbol_rate, g.rolloff),
+                       380.0 * MHz});
+    }
+    return cat;
+}
+
+standard_preset find_preset(const std::string& name) {
+    for (auto& p : standard_catalogue())
+        if (p.name == name)
+            return p;
+    SDRBIST_EXPECTS(!"unknown preset name");
+    return {};
+}
+
+} // namespace sdrbist::waveform

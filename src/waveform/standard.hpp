@@ -1,0 +1,36 @@
+/// \file standard.hpp
+/// \brief Multistandard waveform presets.
+///
+/// An SDR "operates over a wide range of operating parameters (frequency,
+/// data rate, modulation type...)"; a BIST must cover all of them (paper
+/// §II-B).  A preset bundles the stimulus configuration with the emission
+/// mask the configuration must satisfy.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "waveform/generator.hpp"
+#include "waveform/mask.hpp"
+
+namespace sdrbist::waveform {
+
+/// A named radio configuration under test.
+struct standard_preset {
+    std::string name;
+    generator_config stimulus;
+    spectral_mask mask;
+    double default_carrier_hz = 1e9;
+};
+
+/// The paper's evaluation waveform: 10 MHz QPSK, SRRC alpha = 0.5, 1 GHz.
+standard_preset paper_qpsk_preset();
+
+/// Catalogue of shipped presets (paper waveform + additional standards that
+/// exercise the multistandard claim: different rates, orders, bandwidths).
+std::vector<standard_preset> standard_catalogue();
+
+/// Find a preset by name.  Throws contract_violation when unknown.
+standard_preset find_preset(const std::string& name);
+
+} // namespace sdrbist::waveform

@@ -1,0 +1,63 @@
+#include "waveform/tx_metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/contracts.hpp"
+#include "core/units.hpp"
+
+namespace sdrbist::waveform {
+
+acpr_result measure_acpr(const dsp::psd_result& psd, double channel_bw,
+                         double adjacent_offset, double adjacent_bw) {
+    SDRBIST_EXPECTS(channel_bw > 0.0);
+    if (adjacent_bw <= 0.0)
+        adjacent_bw = channel_bw;
+    SDRBIST_EXPECTS(adjacent_offset > channel_bw / 2.0);
+    SDRBIST_EXPECTS(psd.frequency.size() >= 8);
+
+    acpr_result r;
+    r.main_power = psd.band_power(-channel_bw / 2.0, channel_bw / 2.0);
+    SDRBIST_EXPECTS(r.main_power > 0.0);
+
+    const double lower = psd.band_power(-adjacent_offset - adjacent_bw / 2.0,
+                                        -adjacent_offset + adjacent_bw / 2.0);
+    const double upper = psd.band_power(adjacent_offset - adjacent_bw / 2.0,
+                                        adjacent_offset + adjacent_bw / 2.0);
+    r.lower_dbc = db_from_power(std::max(lower, 1e-300) / r.main_power);
+    r.upper_dbc = db_from_power(std::max(upper, 1e-300) / r.main_power);
+    return r;
+}
+
+double occupied_bandwidth(const dsp::psd_result& psd, double fraction) {
+    SDRBIST_EXPECTS(fraction >= 0.5 && fraction < 1.0);
+    SDRBIST_EXPECTS(psd.frequency.size() >= 8);
+    const double df = psd.frequency[1] - psd.frequency[0];
+
+    double total = 0.0;
+    double centroid = 0.0;
+    for (std::size_t i = 0; i < psd.frequency.size(); ++i) {
+        total += psd.density[i] * df;
+        centroid += psd.frequency[i] * psd.density[i] * df;
+    }
+    SDRBIST_EXPECTS(total > 0.0);
+    centroid /= total;
+
+    // Grow a symmetric window around the centroid until it holds the
+    // requested fraction.
+    const double f_lo = psd.frequency.front();
+    const double f_hi = psd.frequency.back();
+    const double max_half = std::max(centroid - f_lo, f_hi - centroid);
+    double lo = 0.0, hi = max_half;
+    for (int it = 0; it < 60; ++it) {
+        const double half = 0.5 * (lo + hi);
+        const double p = psd.band_power(centroid - half, centroid + half);
+        if (p / total < fraction)
+            lo = half;
+        else
+            hi = half;
+    }
+    return 2.0 * hi;
+}
+
+} // namespace sdrbist::waveform

@@ -1,0 +1,37 @@
+/// \file tx_metrics.hpp
+/// \brief Scalar transmitter metrics computed from a baseband PSD:
+///        adjacent-channel power ratio (ACPR) and occupied bandwidth (OBW).
+///
+/// Complements the mask check: masks bound the worst-case density, ACPR
+/// bounds the *integrated* adjacent-channel interference, OBW verifies the
+/// modulator produces the expected spectral width.
+#pragma once
+
+#include "dsp/psd.hpp"
+
+namespace sdrbist::waveform {
+
+/// ACPR measurement result (power ratios relative to the main channel).
+struct acpr_result {
+    double main_power = 0.0;  ///< integrated main-channel power (linear)
+    double lower_dbc = 0.0;   ///< lower adjacent channel, dB rel. main
+    double upper_dbc = 0.0;   ///< upper adjacent channel, dB rel. main
+    /// Worst (largest) of the two sides.
+    [[nodiscard]] double worst_dbc() const {
+        return lower_dbc > upper_dbc ? lower_dbc : upper_dbc;
+    }
+};
+
+/// Integrate the main channel [-bw/2, bw/2] and the two adjacent channels
+/// centred at ±offset (width `adjacent_bw`; 0 = same as main).
+/// The PSD must be two-sided baseband (frequencies relative to the
+/// carrier).  Preconditions: bw > 0, offset > bw/2 (channels disjoint).
+acpr_result measure_acpr(const dsp::psd_result& psd, double channel_bw,
+                         double adjacent_offset, double adjacent_bw = 0.0);
+
+/// x%-power occupied bandwidth: the smallest symmetric interval around the
+/// power centroid containing `fraction` of the total power.
+/// Precondition: 0.5 <= fraction < 1.
+double occupied_bandwidth(const dsp::psd_result& psd, double fraction = 0.99);
+
+} // namespace sdrbist::waveform

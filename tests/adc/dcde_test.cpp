@@ -1,0 +1,66 @@
+// Digitally Controlled Delay Element tests.
+#include <gtest/gtest.h>
+
+#include "adc/dcde.hpp"
+#include "core/contracts.hpp"
+#include "core/units.hpp"
+
+namespace {
+
+using namespace sdrbist;
+using namespace sdrbist::adc;
+
+TEST(Dcde, ProgrammedDelayFollowsCode) {
+    dcde d({1.0 * ps, 0, 1023, 0.0, 0.0, 1});
+    d.set_code(180);
+    EXPECT_DOUBLE_EQ(d.programmed_delay(), 180.0 * ps);
+    EXPECT_DOUBLE_EQ(d.actual_delay(), 180.0 * ps); // ideal element
+    EXPECT_EQ(d.code(), 180);
+}
+
+TEST(Dcde, CodeForRoundsToNearest) {
+    dcde d({2.0 * ps, 0, 511, 0.0, 0.0, 1});
+    EXPECT_EQ(d.code_for(180.0 * ps), 90);
+    EXPECT_EQ(d.code_for(181.0 * ps), 91); // rounds 90.5 up
+    EXPECT_EQ(d.code_for(-5.0 * ps), 0);   // clamped
+    EXPECT_EQ(d.code_for(1.0 * us), 511);  // clamped
+}
+
+TEST(Dcde, StaticErrorShiftsActualDelay) {
+    dcde d({1.0 * ps, 0, 1023, 2.5 * ps, 0.0, 1});
+    d.set_code(100);
+    EXPECT_DOUBLE_EQ(d.programmed_delay(), 100.0 * ps);
+    EXPECT_DOUBLE_EQ(d.actual_delay(), 102.5 * ps);
+}
+
+TEST(Dcde, InlIsDeterministicPerCode) {
+    dcde d({1.0 * ps, 0, 1023, 0.0, 0.5 * ps, 99});
+    d.set_code(50);
+    const double first = d.actual_delay();
+    EXPECT_DOUBLE_EQ(d.actual_delay(), first); // stable on re-read
+    d.set_code(51);
+    const double next = d.actual_delay();
+    d.set_code(50);
+    EXPECT_DOUBLE_EQ(d.actual_delay(), first); // same code, same delay
+    EXPECT_NE(first, next);
+    // INL is bounded plausibly (a few sigma).
+    EXPECT_NEAR(first, 50.0 * ps, 3.0 * ps);
+}
+
+TEST(Dcde, DifferentInlSeedsDiffer) {
+    dcde a({1.0 * ps, 0, 1023, 0.0, 0.5 * ps, 1});
+    dcde b({1.0 * ps, 0, 1023, 0.0, 0.5 * ps, 2});
+    a.set_code(100);
+    b.set_code(100);
+    EXPECT_NE(a.actual_delay(), b.actual_delay());
+}
+
+TEST(Dcde, Preconditions) {
+    EXPECT_THROW(dcde({0.0, 0, 10, 0.0, 0.0, 1}), contract_violation);
+    EXPECT_THROW(dcde({1.0 * ps, 10, 5, 0.0, 0.0, 1}), contract_violation);
+    dcde d({1.0 * ps, 0, 10, 0.0, 0.0, 1});
+    EXPECT_THROW(d.set_code(11), contract_violation);
+    EXPECT_THROW(d.set_code(-1), contract_violation);
+}
+
+} // namespace

@@ -1,0 +1,47 @@
+// Fault-injection catalogue sanity.
+#include <gtest/gtest.h>
+
+#include "bist/faults.hpp"
+
+namespace {
+
+using namespace sdrbist;
+using namespace sdrbist::bist;
+
+TEST(Faults, NoneLeavesConfigUntouched) {
+    rf::tx_config golden;
+    const auto same = inject_fault(golden, fault_kind::none);
+    EXPECT_DOUBLE_EQ(same.pa_backoff_db, golden.pa_backoff_db);
+    EXPECT_DOUBLE_EQ(same.imbalance.gain_db, golden.imbalance.gain_db);
+}
+
+TEST(Faults, EachFaultChangesTheIntendedKnob) {
+    rf::tx_config golden;
+    EXPECT_LT(inject_fault(golden, fault_kind::pa_overdrive).pa_backoff_db,
+              golden.pa_backoff_db);
+    EXPECT_LT(inject_fault(golden, fault_kind::pa_gain_drop).pa_gain_db,
+              golden.pa_gain_db);
+    EXPECT_GT(inject_fault(golden, fault_kind::iq_imbalance)
+                  .imbalance.phase_deg,
+              0.0);
+    EXPECT_GT(inject_fault(golden, fault_kind::lo_leakage).leakage.level_dbc,
+              golden.leakage.level_dbc);
+    EXPECT_GT(inject_fault(golden, fault_kind::excessive_phase_noise)
+                  .lo_phase_noise.linewidth_hz,
+              0.0);
+    EXPECT_GT(inject_fault(golden, fault_kind::filter_detune)
+                  .recon_filter_cutoff_hz,
+              0.0);
+}
+
+TEST(Faults, CatalogueCoversAllKindsWithUniqueNames) {
+    const auto cat = fault_catalogue();
+    EXPECT_EQ(cat.size(), 7u);
+    std::vector<std::string> names;
+    for (auto f : cat)
+        names.push_back(to_string(f));
+    std::sort(names.begin(), names.end());
+    EXPECT_EQ(std::unique(names.begin(), names.end()), names.end());
+}
+
+} // namespace

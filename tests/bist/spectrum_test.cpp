@@ -1,0 +1,121 @@
+// Spectrum path tests: dense reconstruction -> DDC -> PSD.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "adc/tiadc.hpp"
+#include "bist/spectrum.hpp"
+#include "core/contracts.hpp"
+#include "core/units.hpp"
+#include "rf/passband.hpp"
+
+namespace {
+
+using namespace sdrbist;
+using namespace sdrbist::bist;
+
+TEST(AutoWelchSegment, ScalesWithResolutionNeed) {
+    // Wide signal: coarse segments suffice.
+    EXPECT_EQ(auto_welch_segment(360.0 * MHz, 15.0 * MHz, 100000), 1024u);
+    // Narrow signal: finer bins required.
+    EXPECT_GT(auto_welch_segment(360.0 * MHz, 2.7 * MHz, 100000), 4096u);
+    // Limited record caps the segment.
+    EXPECT_LE(auto_welch_segment(360.0 * MHz, 2.7 * MHz, 2048), 1024u);
+    EXPECT_THROW(auto_welch_segment(0.0, 1e6, 4096), contract_violation);
+}
+
+TEST(SpectrumPath, ToneReconstructsToOffsetLine) {
+    // Capture a pure in-band tone and verify the PSD puts it at the right
+    // carrier offset.
+    const double fc = 1.0 * GHz;
+    const double off = 9.0 * MHz;
+    const auto band = sampling::band_around(fc, 90.0 * MHz);
+    rf::multitone_signal sig({{fc + off, 0.8, 0.2}}, 30.0 * us);
+
+    adc::tiadc_config tc;
+    tc.channel_rate_hz = 90.0 * MHz;
+    tc.quant.bits = 12;
+    tc.quant.full_scale = 1.2;
+    tc.jitter_rms_s = 0.0;
+    tc.delay_element.step_s = 1.0 * ps;
+    adc::bp_tiadc adc(tc);
+    adc.program_delay(180.0 * ps);
+    const auto cap = adc.capture(sig, 1.0 * us, 1024, 0);
+
+    const sampling::pnbs_reconstructor recon(cap.even, cap.odd, cap.period_s,
+                                             cap.t_start, band,
+                                             cap.true_delay_s, {61, 8.0});
+    spectrum_options opt;
+    const auto env = reconstruct_envelope(recon, opt);
+    EXPECT_GT(env.rate, 2.0 * (off + 5.0 * MHz));
+    EXPECT_GT(env.samples.size(), 512u);
+
+    const auto psd = envelope_psd(env, 512);
+    // Peak within one bin of the expected offset.
+    double best_f = 0.0, best_p = 0.0;
+    for (std::size_t i = 0; i < psd.frequency.size(); ++i)
+        if (psd.density[i] > best_p) {
+            best_p = psd.density[i];
+            best_f = psd.frequency[i];
+        }
+    EXPECT_NEAR(best_f, off, env.rate / 512.0 + 1.0);
+}
+
+TEST(SpectrumPath, EnvelopePhaseIsAbsoluteTimeReferenced) {
+    // For a tone at exactly fc the reconstructed envelope must be a
+    // constant phasor carrying the tone's phase.
+    const double fc = 1.0 * GHz;
+    const double phase = 0.6;
+    const auto band = sampling::band_around(fc, 90.0 * MHz);
+    rf::multitone_signal sig({{fc, 0.8, phase}}, 30.0 * us);
+
+    adc::tiadc_config tc;
+    tc.channel_rate_hz = 90.0 * MHz;
+    tc.quant.bits = 14;
+    tc.quant.full_scale = 1.2;
+    tc.jitter_rms_s = 0.0;
+    tc.delay_element.step_s = 1.0 * ps;
+    adc::bp_tiadc adc(tc);
+    adc.program_delay(180.0 * ps);
+    const auto cap = adc.capture(sig, 1.0 * us, 1024, 0);
+
+    const sampling::pnbs_reconstructor recon(cap.even, cap.odd, cap.period_s,
+                                             cap.t_start, band,
+                                             cap.true_delay_s, {81, 8.0});
+    const auto env = reconstruct_envelope(recon, {});
+    for (std::size_t m = env.samples.size() / 4;
+         m < 3 * env.samples.size() / 4; m += 7) {
+        EXPECT_NEAR(std::abs(env.samples[m]), 0.8, 0.02);
+        EXPECT_NEAR(std::arg(env.samples[m]), phase, 0.03);
+    }
+}
+
+TEST(SpectrumPath, MixFrequencyOverride) {
+    // Mixing at fc when the band centre is offset re-centres the envelope.
+    const double fc = 1.0 * GHz;
+    const auto band = sampling::band_around(fc + 4.5 * MHz, 90.0 * MHz);
+    rf::multitone_signal sig({{fc, 0.8, 0.0}}, 30.0 * us);
+
+    adc::tiadc_config tc;
+    tc.channel_rate_hz = 90.0 * MHz;
+    tc.quant.bits = 14;
+    tc.quant.full_scale = 1.2;
+    tc.jitter_rms_s = 0.0;
+    tc.delay_element.step_s = 1.0 * ps;
+    adc::bp_tiadc adc(tc);
+    adc.program_delay(180.0 * ps);
+    const auto cap = adc.capture(sig, 1.0 * us, 1024, 0);
+
+    const sampling::pnbs_reconstructor recon(cap.even, cap.odd, cap.period_s,
+                                             cap.t_start, band,
+                                             cap.true_delay_s, {81, 8.0});
+    spectrum_options opt;
+    opt.mix_frequency = fc;
+    const auto env = reconstruct_envelope(recon, opt);
+    // Tone at fc mixed at fc -> DC phasor.
+    for (std::size_t m = env.samples.size() / 4;
+         m < 3 * env.samples.size() / 4; m += 11)
+        EXPECT_NEAR(std::arg(env.samples[m]), 0.0, 0.05);
+}
+
+} // namespace

@@ -1,0 +1,123 @@
+// Band-planning tests: eq. (9) conditions, slow-band offsets, the numerical
+// identifiability (discrimination) metric and degenerate-carrier handling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "calib/dual_rate.hpp"
+#include "core/contracts.hpp"
+#include "core/units.hpp"
+
+namespace {
+
+using namespace sdrbist;
+using calib::band_plan;
+using sampling::band_around;
+
+TEST(Eq9Conditions, PaperSetupHolds) {
+    const auto fast = band_around(1.0 * GHz, 90.0 * MHz);
+    const auto slow = band_around(1.0 * GHz, 45.0 * MHz);
+    EXPECT_TRUE(calib::dual_rate_conditions_ok(fast, slow));
+    EXPECT_NEAR(calib::max_search_delay(fast, slow), 483.0 * ps, 1.0 * ps);
+}
+
+TEST(Eq9Conditions, DegenerateCarrierViolates) {
+    // fc = 900 MHz is an exact multiple of B1 = 45 MHz: k1⁺·B1 = k⁺·B.
+    const auto fast = band_around(900.0 * MHz, 90.0 * MHz);
+    const auto slow = band_around(900.0 * MHz, 45.0 * MHz);
+    EXPECT_FALSE(calib::dual_rate_conditions_ok(fast, slow));
+}
+
+TEST(SlowBandOffset, CentredWhenAdmissible) {
+    const auto fast = band_around(1.0 * GHz, 90.0 * MHz);
+    const double off =
+        calib::choose_slow_band_offset(fast, 45.0 * MHz, 15.0 * MHz);
+    EXPECT_NEAR(off, 0.0, 1.0 * MHz);
+}
+
+TEST(SlowBandOffset, ResolvesNonDegenerateCollisions) {
+    // 1.2 GHz: centred slow band violates eq. (9); a shifted one exists.
+    const auto fast = band_around(1.2 * GHz, 90.0 * MHz);
+    const auto centred = band_around(1.2 * GHz, 45.0 * MHz);
+    EXPECT_FALSE(calib::dual_rate_conditions_ok(fast, centred));
+    const double off =
+        calib::choose_slow_band_offset(fast, 45.0 * MHz, 15.0 * MHz);
+    EXPECT_GT(std::abs(off), 1.0 * MHz);
+    EXPECT_TRUE(calib::dual_rate_conditions_ok(
+        fast, band_around(1.2 * GHz + off, 45.0 * MHz)));
+    // Signal still fits: |off| within B1/2 - occ/2.
+    EXPECT_LT(std::abs(off), 22.5 * MHz - 7.5 * MHz);
+}
+
+TEST(Discrimination, PaperPlanIsSharp) {
+    band_plan plan;
+    plan.fast = band_around(1.0 * GHz, 90.0 * MHz);
+    plan.slow = band_around(1.0 * GHz, 45.0 * MHz);
+    const double disc =
+        calib::dual_rate_discrimination(plan, 1.0 * GHz, 15.0 * MHz);
+    EXPECT_GT(disc, 1e-2);
+}
+
+TEST(Discrimination, SelfImagePlanIsBlind) {
+    // The k·B/2 self-image degeneracy at 900 MHz: eq. (9) can be satisfied
+    // by shifting, but the discrimination stays poor.
+    band_plan plan;
+    plan.fast = band_around(902.25 * MHz, 90.0 * MHz);
+    plan.slow = band_around(902.25 * MHz, 45.0 * MHz);
+    ASSERT_TRUE(calib::dual_rate_conditions_ok(plan.fast, plan.slow));
+    const double blind =
+        calib::dual_rate_discrimination(plan, 900.0 * MHz, 15.0 * MHz);
+    band_plan good;
+    good.fast = band_around(1.0 * GHz, 90.0 * MHz);
+    good.slow = band_around(1.0 * GHz, 45.0 * MHz);
+    const double sharp =
+        calib::dual_rate_discrimination(good, 1.0 * GHz, 15.0 * MHz);
+    EXPECT_LT(blind, sharp / 10.0);
+}
+
+TEST(BandPlan, PrefersCentredBandsAtGoodCarriers) {
+    const auto plan =
+        calib::choose_band_plan(1.0 * GHz, 90.0 * MHz, 45.0 * MHz, 15.0 * MHz);
+    EXPECT_NEAR(plan.fast_offset_hz, 0.0, 1.0);
+    EXPECT_NEAR(plan.slow_offset_hz, 0.0, 1.0 * MHz);
+    EXPECT_TRUE(calib::dual_rate_conditions_ok(plan.fast, plan.slow));
+}
+
+class BandPlanCarriers : public ::testing::TestWithParam<double> {};
+
+TEST_P(BandPlanCarriers, AlwaysProducesAdmissiblePlan) {
+    const double fc = GetParam();
+    const auto plan =
+        calib::choose_band_plan(fc, 90.0 * MHz, 45.0 * MHz, 15.0 * MHz);
+    EXPECT_TRUE(calib::dual_rate_conditions_ok(plan.fast, plan.slow));
+    // The signal fits both bands.
+    EXPECT_LE(std::abs(plan.fast.centre() - fc),
+              45.0 * MHz - 7.5 * MHz);
+    EXPECT_LE(std::abs(plan.slow.centre() - fc),
+              22.5 * MHz - 7.5 * MHz);
+}
+
+INSTANTIATE_TEST_SUITE_P(Carriers, BandPlanCarriers,
+                         ::testing::Values(400.0 * MHz, 625.0 * MHz,
+                                           1.0 * GHz, 1.2 * GHz, 1.8 * GHz,
+                                           2.0 * GHz, 2.43 * GHz),
+                         [](const auto& info) {
+                             return "fc" + std::to_string(static_cast<int>(
+                                               info.param / MHz));
+                         });
+
+TEST(BandPlan, Preconditions) {
+    EXPECT_THROW(calib::choose_band_plan(-1.0, 90e6, 45e6, 15e6),
+                 contract_violation);
+    EXPECT_THROW(calib::choose_band_plan(1e9, 90e6, 90e6, 15e6),
+                 contract_violation);
+    EXPECT_THROW(calib::choose_band_plan(1e9, 90e6, 45e6, 0.0),
+                 contract_violation);
+    // Occupied bandwidth too large for the slow band.
+    EXPECT_THROW(calib::choose_slow_band_offset(
+                     band_around(1.0 * GHz, 90.0 * MHz), 45.0 * MHz,
+                     44.9 * MHz),
+                 contract_violation);
+}
+
+} // namespace

@@ -1,0 +1,120 @@
+// Sine-fit (Jamal-adapted) skew estimator tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "adc/tiadc.hpp"
+#include "calib/jamal.hpp"
+#include "core/contracts.hpp"
+#include "core/units.hpp"
+#include "rf/passband.hpp"
+
+namespace {
+
+using namespace sdrbist;
+
+adc::nonuniform_capture capture_tone(double f_rf, double d_programmed,
+                                     double jitter, int bits,
+                                     std::uint64_t seed = 0x10) {
+    rf::multitone_signal tone({{f_rf, 0.9, 0.7}}, 20.0 * us);
+    adc::tiadc_config tc;
+    tc.channel_rate_hz = 90.0 * MHz;
+    tc.quant.bits = bits;
+    tc.quant.full_scale = 1.5;
+    tc.jitter_rms_s = jitter;
+    tc.delay_element.step_s = 1.0 * ps;
+    tc.delay_element.code_max = 1023;
+    tc.seed = seed;
+    adc::bp_tiadc adc(tc);
+    adc.program_delay(d_programmed);
+    return adc.capture(tone, 1.0 * us, 720, 3);
+}
+
+TEST(JamalSineFit, RecoversDelayCleanConditions) {
+    // Tone folding to 0.46·B (the paper's better case).
+    const double f_rf = 1.0314 * GHz;
+    const auto cap = capture_tone(f_rf, 180.0 * ps, 0.0, 16);
+    calib::jamal_options opt;
+    opt.max_delay_s = 483.0 * ps;
+    const auto est = calib::estimate_skew_sine_fit(cap, f_rf, opt);
+    EXPECT_NEAR(est.d_hat, 180.0 * ps, 0.05 * ps);
+    EXPECT_NEAR(est.alias_freq_norm, 0.46, 1e-6);
+}
+
+class JamalFrequencies : public ::testing::TestWithParam<double> {};
+
+TEST_P(JamalFrequencies, RecoversUnderPaperNoise) {
+    // omega0/B parameterised; 10 bits + 3 ps jitter (paper conditions).
+    const double omega = GetParam();
+    const double b = 90.0 * MHz;
+    const double fc = 1.0 * GHz;
+    const double frac_fc = std::fmod(fc / b, 1.0);
+    double delta = (omega - frac_fc) * b;
+    if (delta < -0.45 * b)
+        delta += b;
+    const double f_rf = fc + delta;
+
+    const auto cap = capture_tone(f_rf, 180.0 * ps, 3.0 * ps, 10);
+    calib::jamal_options opt;
+    opt.max_delay_s = 483.0 * ps;
+    const auto est = calib::estimate_skew_sine_fit(cap, f_rf, opt);
+    EXPECT_NEAR(est.d_hat, 180.0 * ps, 2.0 * ps) << "omega=" << omega;
+}
+
+INSTANTIATE_TEST_SUITE_P(Omegas, JamalFrequencies,
+                         ::testing::Values(0.22, 0.31, 0.40, 0.46),
+                         [](const auto& info) {
+                             return "w" + std::to_string(static_cast<int>(
+                                              info.param * 100.0));
+                         });
+
+TEST(JamalSineFit, HandlesSpectralInversion) {
+    // A tone whose fold lands in the second half of the Nyquist zone
+    // (nu > 0.5 before folding) inverts the observed phase.
+    const double f_rf = 0.97 * GHz; // 0.97e9/90e6 = 10.777 -> nu = 0.777
+    const auto cap = capture_tone(f_rf, 200.0 * ps, 0.0, 16);
+    calib::jamal_options opt;
+    opt.max_delay_s = 483.0 * ps;
+    const auto est = calib::estimate_skew_sine_fit(cap, f_rf, opt);
+    EXPECT_TRUE(est.spectrum_inverted);
+    EXPECT_NEAR(est.d_hat, 200.0 * ps, 0.1 * ps);
+}
+
+TEST(JamalSineFit, VariousTrueDelays) {
+    const double f_rf = 1.0314 * GHz;
+    for (double d : {60.0 * ps, 120.0 * ps, 250.0 * ps, 400.0 * ps}) {
+        const auto cap = capture_tone(f_rf, d, 0.0, 16);
+        calib::jamal_options opt;
+        opt.max_delay_s = 483.0 * ps;
+        const auto est = calib::estimate_skew_sine_fit(cap, f_rf, opt);
+        EXPECT_NEAR(est.d_hat, d, 0.1 * ps) << d / ps;
+    }
+}
+
+TEST(JamalSineFit, ResidualReportsFitQuality) {
+    const double f_rf = 1.0314 * GHz;
+    const auto clean = capture_tone(f_rf, 180.0 * ps, 0.0, 16);
+    const auto noisy = capture_tone(f_rf, 180.0 * ps, 10.0 * ps, 8);
+    calib::jamal_options opt;
+    opt.max_delay_s = 483.0 * ps;
+    EXPECT_LT(calib::estimate_skew_sine_fit(clean, f_rf, opt).fit_residual_rms,
+              calib::estimate_skew_sine_fit(noisy, f_rf, opt).fit_residual_rms);
+}
+
+TEST(JamalSineFit, RequiresKnownToneAwayFromGridDegeneracy) {
+    // A tone folding exactly to DC or Nyquist cannot be fitted; the
+    // estimator rejects it (this is the "restrictive" part the paper
+    // complains about).
+    const double f_rf = 0.99 * GHz; // 11.0·B exactly -> nu = 0
+    const auto cap = capture_tone(f_rf, 180.0 * ps, 0.0, 16);
+    EXPECT_THROW((void)calib::estimate_skew_sine_fit(cap, f_rf, {}),
+                 contract_violation);
+}
+
+TEST(JamalSineFit, Preconditions) {
+    const auto cap = capture_tone(1.0314 * GHz, 180.0 * ps, 0.0, 16);
+    EXPECT_THROW((void)calib::estimate_skew_sine_fit(cap, -1.0, {}),
+                 contract_violation);
+}
+
+} // namespace

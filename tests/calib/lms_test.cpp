@@ -1,0 +1,145 @@
+// Tests of Algorithm 1 — the LMS-based time-skew estimator.
+#include <gtest/gtest.h>
+
+#include "adc/tiadc.hpp"
+#include "calib/lms.hpp"
+#include "core/contracts.hpp"
+#include "core/random.hpp"
+#include "core/units.hpp"
+#include "rf/passband.hpp"
+
+namespace {
+
+using namespace sdrbist;
+
+struct scenario {
+    calib::dual_rate_capture capture;
+    std::vector<double> probes;
+    double d_true = 0.0;
+};
+
+scenario make_paper_scenario(std::uint64_t seed = 0x1234,
+                             double jitter = 3.0 * ps, int bits = 10) {
+    const double fc = 1.0 * GHz;
+    const double b = 90.0 * MHz;
+    rng gen(seed);
+    std::vector<rf::tone> tones;
+    for (int i = 0; i < 6; ++i) {
+        rf::tone t;
+        t.frequency_hz = gen.uniform(fc - 18.0 * MHz, fc + 18.0 * MHz);
+        t.amplitude = gen.uniform(0.08, 0.2);
+        t.phase_rad = gen.uniform(0.0, two_pi);
+        tones.push_back(t);
+    }
+    const std::size_t n_fast = 720;
+    auto sig = std::make_shared<rf::multitone_signal>(
+        std::move(tones), static_cast<double>(n_fast) / b + 1.0 * us);
+
+    adc::tiadc_config tc;
+    tc.channel_rate_hz = b;
+    tc.quant.bits = bits;
+    tc.quant.full_scale = 1.2;
+    tc.jitter_rms_s = jitter;
+    tc.delay_element.step_s = 1.0 * ps;
+    tc.delay_element.code_max = 1000;
+    tc.seed = seed * 7919;
+
+    adc::bp_tiadc sampler(tc);
+    sampler.program_delay(180.0 * ps);
+
+    scenario s;
+    s.d_true = sampler.actual_delay();
+    s.capture.fast = sampler.capture(*sig, 0.5 * us, n_fast, 0);
+    s.capture.slow = sampler.capture_divided(*sig, 0.5 * us, n_fast / 2, 2, 1);
+    s.capture.band_fast = sampling::band_around(fc, b);
+    s.capture.band_slow = sampling::band_around(fc, b / 2.0);
+
+    const auto [lo, hi] = calib::valid_probe_interval(s.capture);
+    rng probe_gen(seed ^ 0xFA11);
+    s.probes = calib::make_probe_times(probe_gen, 300, lo, hi);
+    return s;
+}
+
+// Paper Fig. 6: the algorithm converges for starting points across the
+// whole ]0, 480 ps[ interval, "every time, in less than 20 iterations".
+class LmsFromStart : public ::testing::TestWithParam<double> {};
+
+TEST_P(LmsFromStart, ConvergesToTrueDelay) {
+    const auto s = make_paper_scenario();
+    calib::lms_options opt;
+    opt.mu0 = 1e-12;
+    opt.max_iterations = 40;
+    const calib::lms_skew_estimator est(opt);
+    const auto r = est.estimate(s.capture, GetParam(), s.probes);
+    EXPECT_NEAR(r.d_hat, s.d_true, 1.0 * ps)
+        << "from D0 = " << GetParam() / ps << " ps";
+}
+
+INSTANTIATE_TEST_SUITE_P(StartingPoints, LmsFromStart,
+                         ::testing::Values(50.0 * ps, 100.0 * ps, 220.0 * ps,
+                                           350.0 * ps, 400.0 * ps),
+                         [](const auto& info) {
+                             return "D0_" + std::to_string(static_cast<int>(
+                                                info.param / ps));
+                         });
+
+TEST(LmsSkew, NoiselessConvergesTightly) {
+    const auto s = make_paper_scenario(0x9999, /*jitter=*/0.0, /*bits=*/14);
+    const calib::lms_skew_estimator est{calib::lms_options{}};
+    const auto r = est.estimate(s.capture, 100.0 * ps, s.probes);
+    EXPECT_NEAR(r.d_hat, s.d_true, 0.2 * ps);
+}
+
+TEST(LmsSkew, TraceIsRecordedAndCostDecreasesOverall) {
+    const auto s = make_paper_scenario();
+    const calib::lms_skew_estimator est{calib::lms_options{}};
+    const auto r = est.estimate(s.capture, 50.0 * ps, s.probes);
+    ASSERT_GE(r.trace.size(), 3u);
+    EXPECT_LT(r.trace.back().cost, r.trace.front().cost);
+    // Final cost must be the minimum seen (monotone acceptance).
+    for (const auto& p : r.trace)
+        EXPECT_GE(p.cost * 1.0000001, r.final_cost);
+}
+
+TEST(LmsSkew, ConvergesWithinPaperIterationBudget) {
+    // Paper: "converges, every time, in less than 20 iterations".
+    for (const double d0 : {50.0 * ps, 100.0 * ps, 350.0 * ps, 400.0 * ps}) {
+        const auto s = make_paper_scenario();
+        calib::lms_options opt;
+        opt.max_iterations = 20;
+        const calib::lms_skew_estimator est(opt);
+        const auto r = est.estimate(s.capture, d0, s.probes);
+        EXPECT_NEAR(r.d_hat, s.d_true, 1.5 * ps) << "D0=" << d0 / ps;
+    }
+}
+
+TEST(LmsSkew, InsensitiveToStartingPoint) {
+    // Table I: identical sub-0.1 ps errors from D0 = 50 ps and 400 ps.
+    const auto s = make_paper_scenario();
+    const calib::lms_skew_estimator est{calib::lms_options{}};
+    const auto r1 = est.estimate(s.capture, 50.0 * ps, s.probes);
+    const auto r2 = est.estimate(s.capture, 400.0 * ps, s.probes);
+    EXPECT_NEAR(r1.d_hat, r2.d_hat, 0.5 * ps);
+}
+
+TEST(LmsSkew, RejectsOutOfRangeStart) {
+    const auto s = make_paper_scenario();
+    const calib::lms_skew_estimator est{calib::lms_options{}};
+    const double m = calib::max_search_delay(s.capture);
+    EXPECT_THROW((void)est.estimate(s.capture, -1.0 * ps, s.probes),
+                 contract_violation);
+    EXPECT_THROW((void)est.estimate(s.capture, m * 1.01, s.probes),
+                 contract_violation);
+}
+
+TEST(LmsSkew, CostEvaluationsAreBounded) {
+    const auto s = make_paper_scenario();
+    calib::lms_options opt;
+    opt.max_iterations = 20;
+    const calib::lms_skew_estimator est(opt);
+    const auto r = est.estimate(s.capture, 100.0 * ps, s.probes);
+    // Each iteration costs a handful of evaluations (gradient + halvings).
+    EXPECT_LE(r.cost_evaluations, 200u);
+}
+
+} // namespace

@@ -1,0 +1,55 @@
+// Interval algebra tests (used by the PBS window planner).
+#include <gtest/gtest.h>
+
+#include "core/interval.hpp"
+
+namespace {
+
+using sdrbist::interval;
+using sdrbist::merge_intervals;
+
+TEST(Interval, BasicPredicates) {
+    const interval i{1.0, 3.0};
+    EXPECT_FALSE(i.empty());
+    EXPECT_DOUBLE_EQ(i.width(), 2.0);
+    EXPECT_TRUE(i.contains(1.0));
+    EXPECT_TRUE(i.contains(3.0));
+    EXPECT_FALSE(i.contains(3.5));
+    const interval e{2.0, 1.0};
+    EXPECT_TRUE(e.empty());
+    EXPECT_DOUBLE_EQ(e.width(), 0.0);
+    EXPECT_FALSE(e.contains(1.5));
+}
+
+TEST(Interval, Intersection) {
+    const interval a{1.0, 5.0};
+    const interval b{3.0, 8.0};
+    const auto c = a.intersect(b);
+    EXPECT_DOUBLE_EQ(c.lo, 3.0);
+    EXPECT_DOUBLE_EQ(c.hi, 5.0);
+    EXPECT_TRUE(a.intersect(interval{6.0, 7.0}).empty());
+}
+
+TEST(MergeIntervals, SortsAndMergesOverlaps) {
+    auto merged = merge_intervals(
+        {{5.0, 7.0}, {1.0, 3.0}, {2.0, 4.0}, {8.0, 9.0}});
+    ASSERT_EQ(merged.size(), 3u);
+    EXPECT_DOUBLE_EQ(merged[0].lo, 1.0);
+    EXPECT_DOUBLE_EQ(merged[0].hi, 4.0);
+    EXPECT_DOUBLE_EQ(merged[1].lo, 5.0);
+    EXPECT_DOUBLE_EQ(merged[2].lo, 8.0);
+}
+
+TEST(MergeIntervals, DropsEmptyAndHonoursTolerance) {
+    auto merged = merge_intervals({{1.0, 2.0}, {5.0, 4.0}, {2.05, 3.0}}, 0.1);
+    ASSERT_EQ(merged.size(), 1u); // 2.05 within the 0.1 adjacency tolerance
+    EXPECT_DOUBLE_EQ(merged[0].hi, 3.0);
+    auto strict = merge_intervals({{1.0, 2.0}, {2.05, 3.0}}, 0.0);
+    EXPECT_EQ(strict.size(), 2u);
+}
+
+TEST(MergeIntervals, EmptyInput) {
+    EXPECT_TRUE(merge_intervals({}).empty());
+}
+
+} // namespace

@@ -1,0 +1,88 @@
+// Unit tests for core math helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/math_util.hpp"
+#include "core/units.hpp"
+
+namespace {
+
+using namespace sdrbist;
+
+TEST(Sinc, ValuesAndSymmetry) {
+    EXPECT_DOUBLE_EQ(sinc(0.0), 1.0);
+    EXPECT_NEAR(sinc(1.0), 0.0, 1e-15);
+    EXPECT_NEAR(sinc(2.0), 0.0, 1e-15);
+    EXPECT_NEAR(sinc(0.5), 2.0 / pi, 1e-12);
+    for (double x : {0.1, 0.37, 1.9, 12.3})
+        EXPECT_DOUBLE_EQ(sinc(x), sinc(-x));
+}
+
+TEST(Sinc, SmallArgumentExpansionIsContinuous) {
+    // The Taylor branch must join the sin/x branch smoothly.
+    const double x = 1.0000001e-8;
+    const double y = 0.9999999e-8;
+    EXPECT_NEAR(sinc(x), sinc(y), 1e-14);
+    EXPECT_NEAR(sinc(1e-9), 1.0, 1e-12);
+}
+
+TEST(BesselI0, KnownValues) {
+    EXPECT_DOUBLE_EQ(bessel_i0(0.0), 1.0);
+    // Abramowitz & Stegun 9.8: I0(1) = 1.2660658..., I0(2) = 2.2795853...
+    EXPECT_NEAR(bessel_i0(1.0), 1.2660658777520084, 1e-12);
+    EXPECT_NEAR(bessel_i0(2.0), 2.2795853023360673, 1e-12);
+    EXPECT_NEAR(bessel_i0(5.0), 27.239871823604442, 1e-9);
+    EXPECT_DOUBLE_EQ(bessel_i0(3.0), bessel_i0(-3.0));
+}
+
+TEST(Pow2Helpers, NextAndIs) {
+    EXPECT_EQ(next_pow2(1), 1u);
+    EXPECT_EQ(next_pow2(2), 2u);
+    EXPECT_EQ(next_pow2(3), 4u);
+    EXPECT_EQ(next_pow2(1023), 1024u);
+    EXPECT_EQ(next_pow2(1024), 1024u);
+    EXPECT_TRUE(is_pow2(1));
+    EXPECT_TRUE(is_pow2(64));
+    EXPECT_FALSE(is_pow2(0));
+    EXPECT_FALSE(is_pow2(48));
+    EXPECT_THROW(next_pow2(0), contract_violation);
+}
+
+TEST(CeilSnapped, SnapsNearIntegers) {
+    // The Kohlenberg index k = ceil(2·fl/B) must not jump when rounding
+    // noise puts the ratio a hair above an integer.
+    EXPECT_EQ(ceil_snapped(21.2222), 22);
+    EXPECT_EQ(ceil_snapped(22.0), 22);
+    EXPECT_EQ(ceil_snapped(22.0 + 1e-12), 22);  // snapped back
+    EXPECT_EQ(ceil_snapped(22.0 - 1e-12), 22);  // snapped (not 22 via ceil)
+    EXPECT_EQ(ceil_snapped(22.001), 23);
+    EXPECT_EQ(ceil_snapped(-1.5), -1);
+}
+
+TEST(WrapPhase, RangeAndIdentity) {
+    for (double phi : {0.0, 1.0, -1.0, 3.0, -3.0}) {
+        EXPECT_NEAR(wrap_phase(phi), phi, 1e-12);
+    }
+    EXPECT_NEAR(wrap_phase(pi + 0.1), -pi + 0.1, 1e-12);
+    EXPECT_NEAR(wrap_phase(-pi - 0.1), pi - 0.1, 1e-12);
+    EXPECT_NEAR(wrap_phase(7.0 * two_pi + 0.3), 0.3, 1e-9);
+}
+
+TEST(ApproxEqual, RelativeAndAbsolute) {
+    EXPECT_TRUE(approx_equal(1.0, 1.0 + 1e-12));
+    EXPECT_FALSE(approx_equal(1.0, 1.001));
+    EXPECT_TRUE(approx_equal(1.0, 1.001, 1e-2));
+    EXPECT_TRUE(approx_equal(0.0, 1e-12, 0.0, 1e-9));
+}
+
+TEST(DbConversions, RoundTrip) {
+    EXPECT_NEAR(db_from_power(100.0), 20.0, 1e-12);
+    EXPECT_NEAR(db_from_amplitude(10.0), 20.0, 1e-12);
+    EXPECT_NEAR(power_from_db(30.0), 1000.0, 1e-9);
+    EXPECT_NEAR(amplitude_from_db(6.0205999), 2.0, 1e-6);
+    for (double db : {-37.0, -3.0, 0.0, 12.5})
+        EXPECT_NEAR(db_from_power(power_from_db(db)), db, 1e-12);
+}
+
+} // namespace

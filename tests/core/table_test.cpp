@@ -1,0 +1,39 @@
+// Tests for the bench table formatter.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/contracts.hpp"
+#include "core/table.hpp"
+
+namespace {
+
+using sdrbist::text_table;
+
+TEST(TextTable, FormatsAlignedColumns) {
+    text_table t({"name", "value"});
+    t.set_title("demo");
+    t.add_row({"alpha", "1.5"});
+    t.add_row({"long-name-entry", "2"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("demo"), std::string::npos);
+    EXPECT_NE(s.find("| alpha"), std::string::npos);
+    EXPECT_NE(s.find("| long-name-entry"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+    EXPECT_EQ(t.columns(), 2u);
+}
+
+TEST(TextTable, NumberFormatting) {
+    EXPECT_EQ(text_table::num(1.23456, 2), "1.23");
+    EXPECT_EQ(text_table::num(-0.5, 1), "-0.5");
+    EXPECT_EQ(text_table::sci(12345.0, 2), "1.23e+04");
+}
+
+TEST(TextTable, RowArityIsChecked) {
+    text_table t({"a", "b"});
+    EXPECT_THROW(t.add_row({"only-one"}), sdrbist::contract_violation);
+}
+
+} // namespace

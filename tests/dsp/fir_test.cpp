@@ -1,0 +1,139 @@
+// FIR design and filtering tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/contracts.hpp"
+#include "core/random.hpp"
+#include "core/units.hpp"
+#include "dsp/fir.hpp"
+
+namespace {
+
+using namespace sdrbist;
+using namespace sdrbist::dsp;
+
+TEST(FirDesign, LowpassGainProfile) {
+    const auto h = design_lowpass_fir(127, 0.1);
+    EXPECT_NEAR(std::abs(fir_response(h, 0.0)), 1.0, 1e-12);     // DC
+    EXPECT_NEAR(std::abs(fir_response(h, 0.05)), 1.0, 1e-3);     // passband
+    EXPECT_NEAR(std::abs(fir_response(h, 0.1)), 0.5, 0.05);      // edge ~ -6dB
+    EXPECT_LT(std::abs(fir_response(h, 0.2)), 1e-3);             // stopband
+    EXPECT_LT(std::abs(fir_response(h, 0.45)), 1e-3);
+}
+
+TEST(FirDesign, LowpassLinearPhase) {
+    const auto h = design_lowpass_fir(65, 0.2);
+    for (std::size_t i = 0; i < h.size(); ++i)
+        EXPECT_NEAR(h[i], h[h.size() - 1 - i], 1e-12);
+}
+
+TEST(FirDesign, BandpassSelectsBand) {
+    const auto h = design_bandpass_fir(255, 0.15, 0.25);
+    EXPECT_NEAR(std::abs(fir_response(h, 0.2)), 1.0, 1e-2);
+    EXPECT_LT(std::abs(fir_response(h, 0.05)), 1e-3);
+    EXPECT_LT(std::abs(fir_response(h, 0.35)), 1e-3);
+    EXPECT_LT(std::abs(fir_response(h, 0.0)), 1e-4);
+}
+
+TEST(Convolve, KnownResult) {
+    const std::vector<double> a{1.0, 2.0, 3.0};
+    const std::vector<double> b{1.0, 1.0};
+    const auto c = convolve(a, b);
+    ASSERT_EQ(c.size(), 4u);
+    EXPECT_DOUBLE_EQ(c[0], 1.0);
+    EXPECT_DOUBLE_EQ(c[1], 3.0);
+    EXPECT_DOUBLE_EQ(c[2], 5.0);
+    EXPECT_DOUBLE_EQ(c[3], 3.0);
+}
+
+TEST(FilterSame, DelayCompensatedIdentity) {
+    // A centred unit impulse as "filter" must return the input unchanged.
+    std::vector<double> h(21, 0.0);
+    h[10] = 1.0;
+    rng gen(3);
+    const auto x = gen.gaussian_vector(100);
+    const auto y = filter_same(h, x);
+    ASSERT_EQ(y.size(), x.size());
+    for (std::size_t i = 0; i < x.size(); ++i)
+        EXPECT_NEAR(y[i], x[i], 1e-12);
+}
+
+TEST(FilterSame, RemovesOutOfBandTone) {
+    const auto h = design_lowpass_fir(101, 0.1);
+    std::vector<double> x(400);
+    for (std::size_t n = 0; n < x.size(); ++n)
+        x[n] = std::cos(two_pi * 0.3 * static_cast<double>(n));
+    const auto y = filter_same(h, x);
+    double peak = 0.0;
+    for (std::size_t n = 100; n < 300; ++n)
+        peak = std::max(peak, std::abs(y[n]));
+    EXPECT_LT(peak, 1e-3);
+}
+
+TEST(Upfirdn, UpsamplingInterpolatesImpulse) {
+    // upfirdn(h, delta, L, 1) returns h itself.
+    const auto h = design_lowpass_fir(31, 0.2);
+    const std::vector<double> delta{1.0};
+    const auto y = upfirdn(h, delta, 4, 1);
+    ASSERT_GE(y.size(), h.size());
+    for (std::size_t i = 0; i < h.size(); ++i)
+        EXPECT_NEAR(y[i], h[i], 1e-12);
+}
+
+TEST(Upfirdn, DownsamplingKeepsEveryMth) {
+    std::vector<double> h{1.0}; // pass-through
+    std::vector<double> x(12);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        x[i] = static_cast<double>(i);
+    const auto y = upfirdn(h, x, 1, 3);
+    ASSERT_EQ(y.size(), 4u);
+    EXPECT_DOUBLE_EQ(y[0], 0.0);
+    EXPECT_DOUBLE_EQ(y[1], 3.0);
+    EXPECT_DOUBLE_EQ(y[2], 6.0);
+    EXPECT_DOUBLE_EQ(y[3], 9.0);
+}
+
+TEST(Upfirdn, MatchesUpsampleThenConvolveThenDownsample) {
+    rng gen(11);
+    const auto x = gen.gaussian_vector(37);
+    const auto h = design_lowpass_fir(21, 0.15);
+    const std::size_t up = 3, down = 2;
+
+    // Reference: explicit zero stuffing + full convolution + decimation.
+    std::vector<double> stuffed(x.size() * up, 0.0);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        stuffed[i * up] = x[i];
+    const auto full = convolve(h, stuffed);
+    std::vector<double> ref;
+    for (std::size_t i = 0; i < full.size(); i += down)
+        ref.push_back(full[i]);
+
+    const auto y = upfirdn(h, x, up, down);
+    ASSERT_EQ(y.size(), ref.size());
+    for (std::size_t i = 0; i < y.size(); ++i)
+        EXPECT_NEAR(y[i], ref[i], 1e-12) << "i=" << i;
+}
+
+TEST(Upfirdn, ComplexInputWorks) {
+    std::vector<std::complex<double>> x{{1.0, -1.0}, {2.0, 0.5}};
+    std::vector<double> h{0.5, 0.5};
+    const auto y = upfirdn(h, std::span<const std::complex<double>>(
+                                  x.data(), x.size()),
+                           1, 1);
+    ASSERT_EQ(y.size(), 3u);
+    EXPECT_NEAR(y[1].real(), 1.5, 1e-12);
+    EXPECT_NEAR(y[1].imag(), -0.25, 1e-12);
+}
+
+TEST(FirDesign, Preconditions) {
+    EXPECT_THROW(design_lowpass_fir(2, 0.1), contract_violation);
+    EXPECT_THROW(design_lowpass_fir(21, 0.0), contract_violation);
+    EXPECT_THROW(design_lowpass_fir(21, 0.5), contract_violation);
+    EXPECT_THROW(design_bandpass_fir(21, 0.3, 0.2), contract_violation);
+    std::vector<double> even_h{1.0, 2.0};
+    std::vector<double> x{1.0};
+    EXPECT_THROW(filter_same(even_h, x), contract_violation);
+}
+
+} // namespace

@@ -1,0 +1,97 @@
+// Bandlimited (windowed-sinc) interpolation tests — the bridge between
+// discrete envelopes and the "analog" waveform the sampler probes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/contracts.hpp"
+#include "core/units.hpp"
+#include "dsp/interpolator.hpp"
+
+namespace {
+
+using namespace sdrbist;
+using dsp::complex_interpolator;
+using dsp::real_interpolator;
+
+TEST(SincInterpolator, ExactAtSamplePoints) {
+    const double fs = 100.0 * MHz;
+    std::vector<double> x(256);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        x[i] = std::sin(0.37 * static_cast<double>(i));
+    const real_interpolator interp(x, fs, 16, 10.0);
+    for (std::size_t k = 40; k < 60; ++k)
+        EXPECT_NEAR(interp.at(static_cast<double>(k) / fs), x[k], 1e-6);
+}
+
+TEST(SincInterpolator, ToneAccuracyVsOversampling) {
+    // Interpolation error falls as the tone moves away from Nyquist.
+    const double fs = 100.0 * MHz;
+    double prev_err = 1.0;
+    for (const double f : {30.0 * MHz, 15.0 * MHz, 5.0 * MHz}) {
+        std::vector<double> x(512);
+        for (std::size_t i = 0; i < x.size(); ++i)
+            x[i] = std::cos(two_pi * f * static_cast<double>(i) / fs + 0.3);
+        const real_interpolator interp(x, fs, 32, 10.0);
+        double err = 0.0;
+        int n = 0;
+        for (double t = interp.valid_begin(); t < interp.valid_end();
+             t += 0.313 / fs) {
+            err = std::max(err,
+                           std::abs(interp.at(t) -
+                                    std::cos(two_pi * f * t + 0.3)));
+            ++n;
+        }
+        ASSERT_GT(n, 100);
+        // Error falls towards (and bottoms out at) the window's stopband
+        // floor of a few 1e-6.
+        EXPECT_LT(err, prev_err * 1.5) << f;
+        prev_err = err;
+    }
+    EXPECT_LT(prev_err, 1e-5);
+}
+
+TEST(SincInterpolator, ComplexEnvelopeRoundTrip) {
+    const double fs = 160.0 * MHz;
+    const double f_mod = 7.0 * MHz;
+    std::vector<std::complex<double>> x(1024);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        x[i] = std::polar(1.0, two_pi * f_mod * static_cast<double>(i) / fs);
+    const complex_interpolator interp(x, fs, 32, 10.0);
+    for (double t = interp.valid_begin() + 0.3 * us;
+         t < interp.valid_begin() + 1.0 * us; t += 37.0 * ns) {
+        const auto expect = std::polar(1.0, two_pi * f_mod * t);
+        EXPECT_LT(std::abs(interp.at(t) - expect), 1e-5);
+    }
+}
+
+TEST(SincInterpolator, ValidSpanGeometry) {
+    std::vector<double> x(200, 1.0);
+    const real_interpolator interp(x, 1e6, 16, 8.0);
+    EXPECT_DOUBLE_EQ(interp.valid_begin(), 16e-6);
+    EXPECT_DOUBLE_EQ(interp.valid_end(), (200.0 - 17.0) * 1e-6);
+    EXPECT_EQ(interp.size(), 200u);
+    EXPECT_DOUBLE_EQ(interp.rate(), 1e6);
+}
+
+TEST(SincInterpolator, BatchMatchesScalar) {
+    std::vector<double> x(128);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        x[i] = std::cos(0.21 * static_cast<double>(i));
+    const real_interpolator interp(x, 1e6, 8, 8.0);
+    const std::vector<double> times{40e-6, 41.5e-6, 77.25e-6};
+    const auto batch = interp.at(times);
+    ASSERT_EQ(batch.size(), times.size());
+    for (std::size_t i = 0; i < times.size(); ++i)
+        EXPECT_DOUBLE_EQ(batch[i], interp.at(times[i]));
+}
+
+TEST(SincInterpolator, Preconditions) {
+    std::vector<double> x(100, 0.0);
+    EXPECT_THROW(real_interpolator(x, -1.0, 16, 8.0), contract_violation);
+    EXPECT_THROW(real_interpolator(x, 1e6, 2, 8.0), contract_violation);
+    EXPECT_THROW(real_interpolator(std::vector<double>(10, 0.0), 1e6, 16, 8.0),
+                 contract_violation);
+}
+
+} // namespace

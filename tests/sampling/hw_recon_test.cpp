@@ -1,0 +1,162 @@
+// Hardware-mapped reconstructor: must converge to the reference
+// implementation as table density and word length grow.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/contracts.hpp"
+#include "core/random.hpp"
+#include "core/stats.hpp"
+#include "core/units.hpp"
+#include "rf/passband.hpp"
+#include "sampling/hw_recon.hpp"
+
+namespace {
+
+using namespace sdrbist;
+using namespace sdrbist::sampling;
+
+struct setup {
+    std::vector<double> even, odd;
+    std::shared_ptr<rf::multitone_signal> sig;
+    band_spec band;
+    double period;
+    double d = 180.0 * ps;
+};
+
+setup make_setup(std::uint64_t seed = 0x7E57) {
+    setup s;
+    s.band = band_around(1.0 * GHz, 90.0 * MHz);
+    s.period = 1.0 / s.band.bandwidth();
+    rng gen(seed);
+    std::vector<rf::tone> tones;
+    for (int i = 0; i < 5; ++i)
+        tones.push_back({gen.uniform(s.band.f_lo + 8.0 * MHz,
+                                     s.band.f_hi - 8.0 * MHz),
+                         gen.uniform(0.2, 0.6), gen.uniform(0.0, two_pi)});
+    const std::size_t n = 600;
+    s.sig = std::make_shared<rf::multitone_signal>(
+        std::move(tones), static_cast<double>(n) * s.period + 1.0 * us);
+    s.even.resize(n);
+    s.odd.resize(n);
+    for (std::size_t k = 0; k < n; ++k) {
+        s.even[k] = s.sig->value(static_cast<double>(k) * s.period);
+        s.odd[k] = s.sig->value(static_cast<double>(k) * s.period + s.d);
+    }
+    return s;
+}
+
+double hw_error(const setup& s, const hw_recon_options& opt) {
+    const hw_pnbs_reconstructor hw(s.even, s.odd, s.period, 0.0, s.band, s.d,
+                                   opt);
+    rng probe(0x9);
+    std::vector<double> ref, est;
+    for (int i = 0; i < 300; ++i) {
+        const double t = probe.uniform(hw.valid_begin(), hw.valid_end());
+        ref.push_back(s.sig->value(t));
+        est.push_back(hw.value(t));
+    }
+    return relative_rms_error(ref, est);
+}
+
+TEST(HwRecon, MatchesReferenceAtHighSettings) {
+    const auto s = make_setup();
+    hw_recon_options opt;
+    opt.taps = 61;
+    opt.phase_steps = 512;
+    opt.coeff_bits = 0; // unquantised
+    const hw_pnbs_reconstructor hw(s.even, s.odd, s.period, 0.0, s.band, s.d,
+                                   opt);
+    const pnbs_reconstructor ref(s.even, s.odd, s.period, 0.0, s.band, s.d,
+                                 {61, 8.0});
+    rng probe(0x33);
+    for (int i = 0; i < 200; ++i) {
+        const double t = probe.uniform(hw.valid_begin(), hw.valid_end());
+        EXPECT_NEAR(hw.value(t), ref.value(t),
+                    5e-4 * std::abs(ref.value(t)) + 5e-4)
+            << "t=" << t;
+    }
+}
+
+TEST(HwRecon, ReconstructsSignalAccurately) {
+    const auto s = make_setup();
+    hw_recon_options opt; // defaults: 64 phases, 16-bit, interpolated
+    EXPECT_LT(hw_error(s, opt), 5e-3);
+}
+
+TEST(HwRecon, PhaseGridDensityImprovesAccuracy) {
+    const auto s = make_setup();
+    hw_recon_options coarse;
+    coarse.phase_steps = 8;
+    coarse.coeff_bits = 0;
+    hw_recon_options fine = coarse;
+    fine.phase_steps = 128;
+    EXPECT_LT(hw_error(s, fine), hw_error(s, coarse));
+}
+
+TEST(HwRecon, InterpolationBeatsNearestPhase) {
+    const auto s = make_setup();
+    hw_recon_options nearest;
+    nearest.phase_steps = 32;
+    nearest.coeff_bits = 0;
+    nearest.interpolate_phases = false;
+    hw_recon_options blended = nearest;
+    blended.interpolate_phases = true;
+    EXPECT_LT(hw_error(s, blended), hw_error(s, nearest));
+}
+
+class HwReconBits : public ::testing::TestWithParam<int> {};
+
+TEST_P(HwReconBits, WordlengthControlsFloor) {
+    const auto s = make_setup();
+    hw_recon_options opt;
+    opt.phase_steps = 256;
+    opt.coeff_bits = GetParam();
+    const double err = hw_error(s, opt);
+    // Quantisation error floor ~ 2^-bits relative; generous envelope.
+    const double bound =
+        GetParam() == 0 ? 3e-3 : 3e-3 + 4.0 * std::pow(2.0, -GetParam());
+    EXPECT_LT(err, bound) << "bits=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, HwReconBits,
+                         ::testing::Values(0, 8, 10, 12, 16),
+                         [](const auto& info) {
+                             return "b" + std::to_string(info.param);
+                         });
+
+TEST(HwRecon, RomFootprintAccounting) {
+    const auto s = make_setup();
+    hw_recon_options opt;
+    opt.taps = 61;
+    opt.phase_steps = 64;
+    opt.coeff_bits = 16;
+    const hw_pnbs_reconstructor hw(s.even, s.odd, s.period, 0.0, s.band, s.d,
+                                   opt);
+    EXPECT_EQ(hw.rom_bytes(), 4u * 65u * 61u * 2u);
+    opt.coeff_bits = 0;
+    const hw_pnbs_reconstructor dbl(s.even, s.odd, s.period, 0.0, s.band,
+                                    s.d, opt);
+    EXPECT_EQ(dbl.rom_bytes(), 4u * 65u * 61u * 8u);
+}
+
+TEST(HwRecon, Preconditions) {
+    const auto s = make_setup();
+    hw_recon_options opt;
+    opt.phase_steps = 2;
+    EXPECT_THROW(hw_pnbs_reconstructor(s.even, s.odd, s.period, 0.0, s.band,
+                                       s.d, opt),
+                 contract_violation);
+    opt = {};
+    opt.coeff_bits = 2;
+    EXPECT_THROW(hw_pnbs_reconstructor(s.even, s.odd, s.period, 0.0, s.band,
+                                       s.d, opt),
+                 contract_violation);
+    opt = {};
+    // Forbidden delay rejected like the reference implementation.
+    EXPECT_THROW(hw_pnbs_reconstructor(s.even, s.odd, s.period, 0.0, s.band,
+                                       s.period / 23.0, opt),
+                 contract_violation);
+}
+
+} // namespace

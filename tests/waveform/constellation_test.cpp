@@ -1,0 +1,115 @@
+// Constellation mapping tests: energy normalisation, Gray property,
+// mapping/demapping round trips.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/contracts.hpp"
+#include "waveform/constellation.hpp"
+
+namespace {
+
+using namespace sdrbist::waveform;
+
+class AllModulations : public ::testing::TestWithParam<modulation> {};
+
+TEST_P(AllModulations, UnitAveragePower) {
+    const constellation con(GetParam());
+    double p = 0.0;
+    for (const auto& pt : con.points())
+        p += std::norm(pt);
+    p /= static_cast<double>(con.size());
+    EXPECT_NEAR(p, 1.0, 1e-12) << to_string(GetParam());
+}
+
+TEST_P(AllModulations, SizeMatchesBits) {
+    const constellation con(GetParam());
+    EXPECT_EQ(con.size(), 1u << con.bits_per_symbol());
+}
+
+TEST_P(AllModulations, MapDemapRoundTrip) {
+    const constellation con(GetParam());
+    for (std::size_t v = 0; v < con.size(); ++v)
+        EXPECT_EQ(con.demap(con.point(v)), v) << to_string(GetParam());
+}
+
+TEST_P(AllModulations, DemapWithSmallNoiseIsStable) {
+    const constellation con(GetParam());
+    const double eps = 0.2 * con.min_distance();
+    for (std::size_t v = 0; v < con.size(); ++v) {
+        const auto noisy = con.point(v) + std::complex<double>(eps, -eps / 2);
+        EXPECT_EQ(con.demap(noisy), v);
+    }
+}
+
+TEST_P(AllModulations, PointsAreDistinct) {
+    const constellation con(GetParam());
+    EXPECT_GT(con.min_distance(), 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, AllModulations,
+                         ::testing::Values(modulation::bpsk, modulation::qpsk,
+                                           modulation::psk8, modulation::qam16,
+                                           modulation::qam64),
+                         [](const auto& info) {
+                             return to_string(info.param) == "8-PSK"
+                                        ? std::string("psk8")
+                                    : to_string(info.param) == "16-QAM"
+                                        ? std::string("qam16")
+                                    : to_string(info.param) == "64-QAM"
+                                        ? std::string("qam64")
+                                        : to_string(info.param);
+                         });
+
+TEST(Constellation, KnownMinDistances) {
+    EXPECT_NEAR(constellation(modulation::bpsk).min_distance(), 2.0, 1e-12);
+    EXPECT_NEAR(constellation(modulation::qpsk).min_distance(), std::sqrt(2.0),
+                1e-12);
+    // 16-QAM unit power: spacing 2/sqrt(10).
+    EXPECT_NEAR(constellation(modulation::qam16).min_distance(),
+                2.0 / std::sqrt(10.0), 1e-12);
+}
+
+TEST(Constellation, GrayNeighboursDifferInOneBit) {
+    // For QAM grids, horizontally/vertically adjacent points must differ in
+    // exactly one mapped bit (the Gray property that minimises BER).
+    for (auto kind : {modulation::qam16, modulation::qam64}) {
+        const constellation con(kind);
+        const double spacing = con.min_distance();
+        int checked = 0;
+        for (std::size_t i = 0; i < con.size(); ++i) {
+            for (std::size_t j = i + 1; j < con.size(); ++j) {
+                if (std::abs(std::abs(con.point(i) - con.point(j)) - spacing) <
+                    1e-9) {
+                    const auto diff = i ^ j;
+                    EXPECT_EQ(__builtin_popcountll(diff), 1)
+                        << to_string(kind) << " " << i << "," << j;
+                    ++checked;
+                }
+            }
+        }
+        EXPECT_GT(checked, 10);
+    }
+}
+
+TEST(Constellation, MapStreamConsumesBitsInOrder) {
+    const constellation con(modulation::qpsk);
+    const std::vector<int> bits{0, 0, 0, 1, 1, 0, 1, 1};
+    const auto symbols = con.map_stream(bits);
+    ASSERT_EQ(symbols.size(), 4u);
+    EXPECT_EQ(symbols[0], con.point(0));
+    EXPECT_EQ(symbols[1], con.point(1));
+    EXPECT_EQ(symbols[2], con.point(2));
+    EXPECT_EQ(symbols[3], con.point(3));
+}
+
+TEST(Constellation, Preconditions) {
+    const constellation con(modulation::qpsk);
+    const std::vector<int> three{0, 1, 0};
+    EXPECT_THROW(con.map_stream(three), sdrbist::contract_violation);
+    const std::vector<int> bad{0, 2};
+    EXPECT_THROW(con.map(bad), sdrbist::contract_violation);
+    EXPECT_THROW(con.point(4), sdrbist::contract_violation);
+}
+
+} // namespace

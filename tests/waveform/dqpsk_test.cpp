@@ -1,0 +1,97 @@
+// pi/4-DQPSK differential modulation tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/contracts.hpp"
+#include "core/units.hpp"
+#include "waveform/constellation.hpp"
+#include "waveform/generator.hpp"
+
+namespace {
+
+using namespace sdrbist;
+using namespace sdrbist::waveform;
+
+TEST(Dqpsk, EightPointRingUnitPower) {
+    const constellation con(modulation::dqpsk_pi4);
+    EXPECT_TRUE(con.is_differential());
+    EXPECT_EQ(con.bits_per_symbol(), 2);
+    EXPECT_EQ(con.size(), 8u);
+    for (const auto& p : con.points())
+        EXPECT_NEAR(std::abs(p), 1.0, 1e-12);
+}
+
+TEST(Dqpsk, RotationsAreQuarterOrThreeQuarterPi) {
+    const constellation con(modulation::dqpsk_pi4);
+    // All 4 dibits over a few symbols.
+    const std::vector<int> bits{0, 0, 0, 1, 1, 1, 1, 0};
+    const auto symbols = con.map_stream(bits);
+    ASSERT_EQ(symbols.size(), 4u);
+    // Successive rotations: +pi/4 from the start phase, then +3pi/4,
+    // then -3pi/4, then -pi/4.
+    const double d1 = std::arg(symbols[1] / symbols[0]);
+    const double d2 = std::arg(symbols[2] / symbols[1]);
+    const double d3 = std::arg(symbols[3] / symbols[2]);
+    EXPECT_NEAR(d1, 3.0 * pi / 4.0, 1e-12);
+    EXPECT_NEAR(d2, -3.0 * pi / 4.0, 1e-12);
+    EXPECT_NEAR(d3, -pi / 4.0, 1e-12);
+}
+
+TEST(Dqpsk, AlternatesBetweenTheTwoQpskGrids) {
+    // Odd-indexed ring positions on one grid, even on the other: every
+    // rotation is an odd multiple of pi/4, so the grid parity flips each
+    // symbol.
+    const constellation con(modulation::dqpsk_pi4);
+    std::vector<int> bits;
+    prbs_generator prbs(prbs_order::prbs9, 5);
+    for (int i = 0; i < 128; ++i)
+        bits.push_back(prbs.next_bit());
+    const auto symbols = con.map_stream(bits);
+    int parity = -1;
+    for (std::size_t s = 0; s < symbols.size(); ++s) {
+        const double ring =
+            std::arg(symbols[s]) / (pi / 4.0); // ring index, possibly <0
+        const long idx = std::lround(ring < 0 ? ring + 8.0 : ring) % 8;
+        if (parity < 0)
+            parity = static_cast<int>(idx % 2);
+        EXPECT_EQ(idx % 2, (parity + static_cast<int>(s)) % 2 == 0
+                               ? parity
+                               : 1 - parity);
+    }
+}
+
+TEST(Dqpsk, NeverRepeatsSymbol) {
+    // The minimum rotation is pi/4 != 0: consecutive symbols always differ
+    // (a property CPM-ish receivers rely on for clock recovery).
+    const constellation con(modulation::dqpsk_pi4);
+    std::vector<int> bits;
+    prbs_generator prbs(prbs_order::prbs15, 77);
+    for (int i = 0; i < 512; ++i)
+        bits.push_back(prbs.next_bit());
+    const auto symbols = con.map_stream(bits);
+    for (std::size_t s = 1; s < symbols.size(); ++s)
+        EXPECT_GT(std::abs(symbols[s] - symbols[s - 1]), 0.5);
+}
+
+TEST(Dqpsk, GeneratorProducesWaveform) {
+    generator_config g;
+    g.mod = modulation::dqpsk_pi4;
+    g.symbol_rate = 1.0 * MHz;
+    g.rolloff = 0.35;
+    g.oversample = 16;
+    g.span_symbols = 10;
+    g.symbol_count = 64;
+    const auto wf = generate_baseband(g);
+    EXPECT_EQ(wf.symbols.size(), 64u);
+    for (const auto& s : wf.symbols)
+        EXPECT_NEAR(std::abs(s), 1.0, 1e-12);
+}
+
+TEST(Dqpsk, SingleSymbolMapRejected) {
+    const constellation con(modulation::dqpsk_pi4);
+    const std::vector<int> bits{0, 1};
+    EXPECT_THROW(con.map(bits), contract_violation);
+}
+
+} // namespace

@@ -1,0 +1,141 @@
+// EVM meter tests: clean-chain zero, gain/phase/timing recovery, noise.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/contracts.hpp"
+#include "core/random.hpp"
+#include "core/units.hpp"
+#include "waveform/evm.hpp"
+
+namespace {
+
+using namespace sdrbist;
+using namespace sdrbist::waveform;
+
+baseband_waveform make_wf() {
+    generator_config g;
+    g.mod = modulation::qpsk;
+    g.symbol_rate = 10.0 * MHz;
+    g.rolloff = 0.5;
+    g.oversample = 16;
+    g.span_symbols = 8;
+    g.symbol_count = 96;
+    return generate_baseband(g);
+}
+
+TEST(Evm, CleanChainIsNearZero) {
+    const auto wf = make_wf();
+    const auto r = measure_evm(
+        std::span<const std::complex<double>>(wf.samples.data(),
+                                              wf.samples.size()),
+        wf.sample_rate, wf);
+    EXPECT_LT(r.evm_percent(), 0.5);
+    EXPECT_NEAR(std::abs(r.gain), 1.0, 0.02);
+    EXPECT_NEAR(r.timing_offset, 0.0, 2.0 * ns);
+}
+
+TEST(Evm, RecoversComplexGain) {
+    const auto wf = make_wf();
+    const std::complex<double> g = 2.5 * std::polar(1.0, 0.8);
+    auto scaled = wf.samples;
+    for (auto& v : scaled)
+        v *= g;
+    const auto r = measure_evm(
+        std::span<const std::complex<double>>(scaled.data(), scaled.size()),
+        wf.sample_rate, wf);
+    EXPECT_LT(r.evm_percent(), 0.5);
+    EXPECT_NEAR(std::abs(r.gain), 2.5, 0.05);
+    EXPECT_NEAR(std::arg(r.gain), 0.8, 0.02);
+}
+
+TEST(Evm, RecoversTimingOffset) {
+    // Shift the envelope timeline via envelope_t0 and verify the search
+    // finds it.
+    const auto wf = make_wf();
+    evm_options opt;
+    opt.envelope_t0 = 20.0 * ns; // envelope[0] sits at t = 20 ns
+    // envelope[n] = wf(t) sampled at t = 20ns + n/fs  -> drop first samples
+    const auto skip = static_cast<std::size_t>(
+        std::lround(20.0 * ns * wf.sample_rate));
+    std::vector<std::complex<double>> shifted(wf.samples.begin() + skip,
+                                              wf.samples.end());
+    const auto r = measure_evm(
+        std::span<const std::complex<double>>(shifted.data(), shifted.size()),
+        wf.sample_rate, wf, opt);
+    EXPECT_LT(r.evm_percent(), 0.6);
+}
+
+TEST(Evm, ResidualTimingErrorDegradesGracefully) {
+    // A deliberate unmodelled sub-sample delay shows up as EVM, roughly
+    // linear in the offset for small offsets.
+    const auto wf = make_wf();
+    evm_options opt;
+    opt.timing_search_span = 0.0001; // effectively disable the search
+    opt.timing_steps = 3;
+    // Feed an envelope offset by half a sample without telling the meter.
+    std::vector<std::complex<double>> late(wf.samples.begin() + 1,
+                                           wf.samples.end());
+    const auto r = measure_evm(
+        std::span<const std::complex<double>>(late.data(), late.size()),
+        wf.sample_rate, wf, opt);
+    EXPECT_GT(r.evm_percent(), 1.0); // a full sample late: visible
+}
+
+TEST(Evm, AwgnSetsEvmFloor) {
+    const auto wf = make_wf();
+    rng gen(33);
+    for (const double snr_db : {30.0, 20.0}) {
+        auto noisy = wf.samples;
+        const double sigma = std::pow(10.0, -snr_db / 20.0) / std::sqrt(2.0);
+        for (auto& v : noisy)
+            v += std::complex<double>(gen.gaussian(0.0, sigma),
+                                      gen.gaussian(0.0, sigma));
+        const auto r = measure_evm(
+            std::span<const std::complex<double>>(noisy.data(), noisy.size()),
+            wf.sample_rate, wf);
+        // Matched filtering gains ~ sqrt(oversample·...) against white
+        // noise; EVM must be below the raw noise level but non-zero.
+        const double raw_percent = 100.0 * std::pow(10.0, -snr_db / 20.0);
+        EXPECT_LT(r.evm_percent(), raw_percent);
+        EXPECT_GT(r.evm_percent(), raw_percent / 20.0);
+    }
+}
+
+TEST(Evm, PeakAtLeastRms) {
+    const auto wf = make_wf();
+    rng gen(7);
+    auto noisy = wf.samples;
+    for (auto& v : noisy)
+        v += std::complex<double>(gen.gaussian(0.0, 0.02),
+                                  gen.gaussian(0.0, 0.02));
+    const auto r = measure_evm(
+        std::span<const std::complex<double>>(noisy.data(), noisy.size()),
+        wf.sample_rate, wf);
+    EXPECT_GE(r.evm_peak, r.evm_rms);
+    EXPECT_FALSE(r.received_symbols.empty());
+}
+
+TEST(Evm, DbConversion) {
+    evm_result r;
+    r.evm_rms = 0.01;
+    EXPECT_NEAR(r.evm_db(), -40.0, 1e-9);
+    EXPECT_NEAR(r.evm_percent(), 1.0, 1e-12);
+}
+
+TEST(Evm, Preconditions) {
+    const auto wf = make_wf();
+    std::vector<std::complex<double>> tiny(8, {0.0, 0.0});
+    EXPECT_THROW(measure_evm(std::span<const std::complex<double>>(
+                                 tiny.data(), tiny.size()),
+                             wf.sample_rate, wf),
+                 contract_violation);
+    evm_options opt;
+    opt.timing_steps = 4; // must be odd
+    EXPECT_THROW(measure_evm(std::span<const std::complex<double>>(
+                                 wf.samples.data(), wf.samples.size()),
+                             wf.sample_rate, wf, opt),
+                 contract_violation);
+}
+
+} // namespace

@@ -1,0 +1,55 @@
+// Multistandard preset catalogue sanity.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/contracts.hpp"
+#include "core/units.hpp"
+#include "waveform/standard.hpp"
+
+namespace {
+
+using namespace sdrbist;
+using namespace sdrbist::waveform;
+
+TEST(StandardCatalogue, PaperPresetMatchesEvaluationSection) {
+    const auto p = paper_qpsk_preset();
+    EXPECT_EQ(p.stimulus.mod, modulation::qpsk);
+    EXPECT_DOUBLE_EQ(p.stimulus.symbol_rate, 10.0 * MHz);
+    EXPECT_DOUBLE_EQ(p.stimulus.rolloff, 0.5);
+    EXPECT_DOUBLE_EQ(p.default_carrier_hz, 1.0 * GHz);
+}
+
+TEST(StandardCatalogue, UniqueNamesAndSaneParameters) {
+    const auto cat = standard_catalogue();
+    EXPECT_GE(cat.size(), 5u);
+    std::set<std::string> names;
+    for (const auto& p : cat) {
+        EXPECT_TRUE(names.insert(p.name).second) << "duplicate " << p.name;
+        EXPECT_GT(p.stimulus.symbol_rate, 0.0);
+        EXPECT_GT(p.stimulus.rolloff, 0.0);
+        EXPECT_LE(p.stimulus.rolloff, 1.0);
+        EXPECT_GT(p.default_carrier_hz, 100.0 * MHz);
+        // Every preset must fit the paper's 90 MHz capture band and the
+        // 45 MHz slow band (with the calibration-waveform margin).
+        const double occ = p.stimulus.symbol_rate * (1.0 + p.stimulus.rolloff);
+        EXPECT_LT(occ, 40.0 * MHz) << p.name;
+        EXPECT_GT(p.mask.reference_bandwidth(), 0.0);
+        EXPECT_FALSE(p.mask.segments().empty());
+    }
+}
+
+TEST(StandardCatalogue, FindPresetByName) {
+    const auto p = find_preset("paper-qpsk-10M");
+    EXPECT_EQ(p.name, "paper-qpsk-10M");
+    EXPECT_THROW(find_preset("no-such-preset"), contract_violation);
+}
+
+TEST(StandardCatalogue, MasksScaleWithSymbolRate) {
+    const auto narrow = find_preset("tactical-bpsk-2M");
+    const auto wide = find_preset("qam64-15M");
+    EXPECT_LT(narrow.mask.reference_bandwidth(),
+              wide.mask.reference_bandwidth());
+}
+
+} // namespace

@@ -1,0 +1,97 @@
+// ACPR and occupied-bandwidth measurement tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/contracts.hpp"
+#include "core/units.hpp"
+#include "waveform/tx_metrics.hpp"
+
+namespace {
+
+using namespace sdrbist;
+using namespace sdrbist::waveform;
+
+// Two-sided baseband PSD: main channel plateau + adjacent-channel shelf.
+dsp::psd_result shelf_psd(double adj_dbc) {
+    dsp::psd_result p;
+    const double df = 0.1 * MHz;
+    for (double f = -40.0 * MHz; f <= 40.0 * MHz; f += df) {
+        p.frequency.push_back(f);
+        const double af = std::abs(f);
+        double level;
+        if (af < 7.5 * MHz)
+            level = 1.0;
+        else if (af < 30.0 * MHz)
+            level = power_from_db(adj_dbc);
+        else
+            level = 1e-12;
+        p.density.push_back(level);
+    }
+    p.resolution_bw = df;
+    return p;
+}
+
+TEST(Acpr, IntegratedRatioMatchesConstruction) {
+    // Adjacent density -30 dBc over the same bandwidth as the main channel
+    // -> ACPR = -30 dB exactly.
+    const auto psd = shelf_psd(-30.0);
+    const auto r = measure_acpr(psd, 15.0 * MHz, 22.0 * MHz);
+    EXPECT_NEAR(r.lower_dbc, -30.0, 0.3);
+    EXPECT_NEAR(r.upper_dbc, -30.0, 0.3);
+    EXPECT_NEAR(r.worst_dbc(), -30.0, 0.3);
+    EXPECT_GT(r.main_power, 0.0);
+}
+
+TEST(Acpr, AsymmetricSidesReported) {
+    auto psd = shelf_psd(-30.0);
+    // Raise only the upper adjacent channel.
+    for (std::size_t i = 0; i < psd.frequency.size(); ++i)
+        if (psd.frequency[i] > 10.0 * MHz && psd.frequency[i] < 30.0 * MHz)
+            psd.density[i] *= 10.0;
+    const auto r = measure_acpr(psd, 15.0 * MHz, 22.0 * MHz);
+    EXPECT_NEAR(r.upper_dbc - r.lower_dbc, 10.0, 0.5);
+    EXPECT_NEAR(r.worst_dbc(), r.upper_dbc, 1e-12);
+}
+
+TEST(Acpr, Preconditions) {
+    const auto psd = shelf_psd(-30.0);
+    EXPECT_THROW(measure_acpr(psd, 0.0, 22.0 * MHz), contract_violation);
+    // Adjacent channel overlapping the main one.
+    EXPECT_THROW(measure_acpr(psd, 15.0 * MHz, 5.0 * MHz),
+                 contract_violation);
+}
+
+TEST(OccupiedBandwidth, BrickWallSpectrum) {
+    // A flat channel of width W: x% OBW ≈ x·W.
+    const auto psd = shelf_psd(-200.0);
+    EXPECT_NEAR(occupied_bandwidth(psd, 0.99), 0.99 * 15.0 * MHz,
+                0.4 * MHz);
+    EXPECT_NEAR(occupied_bandwidth(psd, 0.5), 0.5 * 15.0 * MHz, 0.4 * MHz);
+}
+
+TEST(OccupiedBandwidth, OffsetSpectrumUsesCentroid) {
+    // Same plateau shifted by +5 MHz: the centroid tracking keeps the OBW.
+    dsp::psd_result p;
+    const double df = 0.1 * MHz;
+    for (double f = -40.0 * MHz; f <= 40.0 * MHz; f += df) {
+        p.frequency.push_back(f);
+        p.density.push_back(std::abs(f - 5.0 * MHz) < 7.5 * MHz ? 1.0
+                                                                : 1e-12);
+    }
+    p.resolution_bw = df;
+    EXPECT_NEAR(occupied_bandwidth(p, 0.99), 0.99 * 15.0 * MHz, 0.4 * MHz);
+}
+
+TEST(OccupiedBandwidth, WiderFractionWiderBand) {
+    const auto psd = shelf_psd(-20.0); // visible shoulders
+    EXPECT_LT(occupied_bandwidth(psd, 0.9), occupied_bandwidth(psd, 0.99));
+}
+
+TEST(OccupiedBandwidth, Preconditions) {
+    const auto psd = shelf_psd(-30.0);
+    EXPECT_THROW(occupied_bandwidth(psd, 0.4), contract_violation);
+    EXPECT_THROW(occupied_bandwidth(psd, 1.0), contract_violation);
+}
+
+} // namespace
