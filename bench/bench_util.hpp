@@ -7,13 +7,74 @@
 
 #include <cmath>
 #include <functional>
+#include <iostream>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "bist/engine.hpp"
+#include "campaign/export.hpp"
 #include "core/stats.hpp"
 #include "core/units.hpp"
 
 namespace sdrbist::benchutil {
+
+// ---------------------------------------------------------------------------
+// Machine-readable bench output.
+//
+// Perf benches print one `BENCH_JSON {...}` line per result so dashboards
+// and future PRs can track the trajectory with
+// `./bench_x | grep ^BENCH_JSON | cut -d' ' -f2-`.  Keys are emitted in
+// insertion order, numbers in shortest round-trip form.
+// ---------------------------------------------------------------------------
+
+/// One flat JSON record assembled field by field.
+class json_record {
+public:
+    json_record& add(const std::string& key, double value) {
+        return add_raw(key, campaign::json_number(value));
+    }
+    json_record& add(const std::string& key, std::size_t value) {
+        return add_raw(key, std::to_string(value));
+    }
+    json_record& add(const std::string& key, const std::string& value) {
+        return add_raw(key, campaign::json_quote(value));
+    }
+    /// Append a pre-rendered JSON value (nested array/object).
+    json_record& add_raw(const std::string& key, const std::string& raw) {
+        fields_.emplace_back(key, raw);
+        return *this;
+    }
+    /// Append all fields of another record.
+    json_record& merge(const json_record& other) {
+        fields_.insert(fields_.end(), other.fields_.begin(),
+                       other.fields_.end());
+        return *this;
+    }
+    [[nodiscard]] std::string str() const {
+        std::string out = "{";
+        for (std::size_t i = 0; i < fields_.size(); ++i) {
+            if (i)
+                out += ',';
+            out += campaign::json_quote(fields_[i].first) + ":" +
+                   fields_[i].second;
+        }
+        return out + "}";
+    }
+
+private:
+    std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Print the canonical machine-readable line for one bench result.
+inline void emit_bench_json(const std::string& bench_name,
+                            const json_record& record,
+                            std::ostream& os = std::cout) {
+    json_record line;
+    line.add("bench", bench_name);
+    line.merge(record);
+    os << "BENCH_JSON " << line.str() << "\n";
+}
 
 /// One fully-executed paper-configuration BIST run.
 struct paper_run {

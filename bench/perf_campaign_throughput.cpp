@@ -1,0 +1,93 @@
+/// \file perf_campaign_throughput.cpp
+/// \brief Campaign throughput scaling: scenarios/second at 1, 4 and
+///        hardware-concurrency worker threads over a fixed scenario grid.
+///
+/// Each configuration runs the identical grid (same master seed), so this
+/// also smoke-checks the determinism contract while measuring scaling.
+/// Machine-readable results are printed as `BENCH_JSON {...}` lines (see
+/// bench_util.hpp).
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "campaign/campaign.hpp"
+#include "campaign/export.hpp"
+#include "core/table.hpp"
+#include "core/thread_pool.hpp"
+
+int main() {
+    using namespace sdrbist;
+
+    campaign::campaign_config cfg;
+    cfg.base.tiadc.quant.full_scale = 2.0;
+    cfg.base.min_output_rms = 1.2;
+    cfg.presets = {waveform::find_preset("paper-qpsk-10M"),
+                   waveform::find_preset("tactical-bpsk-2M")};
+    cfg.faults = {bist::fault_kind::none, bist::fault_kind::pa_gain_drop};
+    cfg.trials = 2;
+    cfg.seed = 0xCA59A16Dull;
+
+    const std::size_t hw = thread_pool::default_thread_count();
+    std::vector<std::size_t> thread_counts = {1, 4, hw};
+    std::sort(thread_counts.begin(), thread_counts.end());
+    thread_counts.erase(
+        std::unique(thread_counts.begin(), thread_counts.end()),
+        thread_counts.end());
+
+    std::cout << "campaign throughput: "
+              << cfg.presets.size() * cfg.faults.size() * cfg.trials
+              << " scenarios per run, hardware concurrency = " << hw
+              << "\n\n";
+
+    text_table table({"threads", "wall [s]", "scenarios/s", "speedup",
+                      "efficiency [%]", "coverage"});
+    double baseline_rate = 0.0;
+    std::string baseline_json;
+    for (const std::size_t threads : thread_counts) {
+        cfg.threads = threads;
+        const campaign::campaign_runner runner(cfg);
+        const auto result = runner.run();
+
+        // Determinism cross-check: every thread count must produce the
+        // byte-identical timing-free export.
+        campaign::export_options opt;
+        opt.include_timing = false;
+        const auto artefact = campaign::to_json(result, opt);
+        if (baseline_json.empty())
+            baseline_json = artefact;
+        else if (artefact != baseline_json) {
+            std::cerr << "DETERMINISM VIOLATION: results differ at "
+                      << threads << " threads\n";
+            return 1;
+        }
+
+        const double rate = result.scenarios_per_second();
+        if (baseline_rate == 0.0)
+            baseline_rate = rate;
+        const double speedup = rate / baseline_rate;
+        table.add_row({std::to_string(threads),
+                       text_table::num(result.wall_s, 2),
+                       text_table::num(rate, 3),
+                       text_table::num(speedup, 2),
+                       text_table::num(100.0 * speedup /
+                                           static_cast<double>(threads),
+                                       0),
+                       text_table::num(100.0 * result.coverage(), 0) + "%"});
+
+        benchutil::json_record rec;
+        rec.add("threads", threads);
+        rec.add("scenarios", result.scenario_count());
+        rec.add("wall_s", result.wall_s);
+        rec.add("scenarios_per_sec", rate);
+        rec.add("speedup_vs_1t", speedup);
+        rec.add("coverage", result.coverage());
+        rec.add("yield", result.yield());
+        benchutil::emit_bench_json("campaign_throughput", rec);
+    }
+    std::cout << "\n";
+    table.print(std::cout);
+    std::cout << "\nnote: scenarios are independent engine runs; speedup is "
+                 "bounded by physical cores (this host: " << hw << ")\n";
+    return 0;
+}

@@ -1,0 +1,222 @@
+/// \file campaign_runner.cpp
+/// \brief Production-style campaign CLI: expand a standard × fault ×
+///        Monte-Carlo grid, execute it on a thread pool, print the
+///        fault-coverage matrix and export structured artefacts.
+///
+/// Examples:
+///   campaign_runner --trials 3 --threads 8 --json campaign.json
+///   campaign_runner --presets paper-qpsk-10M,dqpsk-1M
+///                   --faults none,pa-gain-drop --csv coverage.csv
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+#include "campaign/export.hpp"
+#include "core/table.hpp"
+#include "core/units.hpp"
+
+namespace {
+
+using namespace sdrbist;
+
+std::vector<std::string> split_csv_list(const std::string& arg) {
+    std::vector<std::string> items;
+    std::stringstream ss(arg);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            items.push_back(item);
+    return items;
+}
+
+/// Parse a non-negative integer CLI value; exits with a usage error on
+/// anything else (std::stoul would silently wrap "-1" to 2^64-1).
+std::uint64_t parse_count(const std::string& option, const std::string& text,
+                          int base = 10) {
+    try {
+        if (text.empty() || text[0] == '-')
+            throw std::invalid_argument("negative");
+        std::size_t consumed = 0;
+        const std::uint64_t v = std::stoull(text, &consumed, base);
+        if (consumed != text.size())
+            throw std::invalid_argument("trailing garbage");
+        return v;
+    } catch (const std::exception&) {
+        std::cerr << option << " needs a non-negative integer, got '" << text
+                  << "'\n";
+        std::exit(2);
+    }
+}
+
+/// Parse a floating-point CLI value, rejecting trailing garbage.
+double parse_double(const std::string& option, const std::string& text) {
+    try {
+        std::size_t consumed = 0;
+        const double v = std::stod(text, &consumed);
+        if (consumed != text.size())
+            throw std::invalid_argument("trailing garbage");
+        return v;
+    } catch (const std::exception&) {
+        std::cerr << option << " needs a number, got '" << text << "'\n";
+        std::exit(2);
+    }
+}
+
+bist::fault_kind fault_by_name(const std::string& name) {
+    for (const auto f : bist::fault_catalogue())
+        if (bist::to_string(f) == name)
+            return f;
+    std::cerr << "unknown fault: " << name << "\nknown faults:";
+    for (const auto f : bist::fault_catalogue())
+        std::cerr << ' ' << bist::to_string(f);
+    std::cerr << '\n';
+    std::exit(2);
+}
+
+void usage() {
+    std::cout <<
+        "usage: campaign_runner [options]\n"
+        "  --presets a,b,c   presets to grade (default: whole catalogue)\n"
+        "  --faults a,b      faults to inject (default: whole catalogue)\n"
+        "  --trials N        Monte-Carlo trials per cell (default 1)\n"
+        "  --threads N       worker threads (default: hardware)\n"
+        "  --seed S          campaign master seed\n"
+        "  --jitter-sigma X  log-normal per-trial jitter spread\n"
+        "  --dcde-sigma-ps X gaussian per-trial DCDE static-error spread\n"
+        "  --json PATH       write the full campaign JSON\n"
+        "  --csv PATH        write the coverage-matrix CSV\n"
+        "  --scenarios PATH  write the per-scenario CSV\n"
+        "  --help            this text\n";
+}
+
+int run_cli(int argc, char** argv);
+
+} // namespace
+
+int main(int argc, char** argv) {
+    try {
+        return run_cli(argc, argv);
+    } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 2;
+    }
+}
+
+namespace {
+
+int run_cli(int argc, char** argv) {
+    campaign::campaign_config cfg;
+    cfg.base.tiadc.quant.full_scale = 2.0;
+    cfg.base.min_output_rms = 1.2; // PA-health floor so gain faults count
+
+    std::string json_path, csv_path, scenarios_path;
+    std::vector<std::string> preset_names, fault_names;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << arg << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (arg == "--presets") {
+            preset_names = split_csv_list(value());
+        } else if (arg == "--faults") {
+            fault_names = split_csv_list(value());
+        } else if (arg == "--trials") {
+            cfg.trials = parse_count(arg, value());
+        } else if (arg == "--threads") {
+            cfg.threads = parse_count(arg, value());
+        } else if (arg == "--seed") {
+            cfg.seed = parse_count(arg, value(), 0);
+        } else if (arg == "--jitter-sigma") {
+            cfg.perturb.jitter_rel_sigma = parse_double(arg, value());
+        } else if (arg == "--dcde-sigma-ps") {
+            cfg.perturb.dcde_static_sigma_s = parse_double(arg, value()) * ps;
+        } else if (arg == "--json") {
+            json_path = value();
+        } else if (arg == "--csv") {
+            csv_path = value();
+        } else if (arg == "--scenarios") {
+            scenarios_path = value();
+        } else {
+            std::cerr << "unknown option: " << arg << "\n";
+            usage();
+            return 2;
+        }
+    }
+
+    if (!preset_names.empty()) {
+        cfg.presets.clear();
+        for (const auto& name : preset_names)
+            cfg.presets.push_back(waveform::find_preset(name));
+    }
+    if (!fault_names.empty()) {
+        cfg.faults.clear();
+        for (const auto& name : fault_names)
+            cfg.faults.push_back(fault_by_name(name));
+    }
+
+    const std::size_t scenario_count =
+        cfg.presets.size() * cfg.faults.size() * cfg.trials;
+    std::cout << "campaign: " << cfg.presets.size() << " presets x "
+              << cfg.faults.size() << " faults x " << cfg.trials
+              << " trials = " << scenario_count << " scenarios\n\n";
+
+    const campaign::campaign_runner runner(cfg);
+    const auto result = runner.run();
+
+    campaign::coverage_table(result).print(std::cout);
+    std::cout << "\nyield (golden pass rate):  "
+              << text_table::num(100.0 * result.yield(), 1) << " %  ("
+              << result.golden_passes << "/" << result.golden_runs << ")\n"
+              << "fault coverage:            "
+              << text_table::num(100.0 * result.coverage(), 1) << " %  ("
+              << result.fault_detected << "/" << result.fault_runs << ")\n"
+              << "escape rate:               "
+              << text_table::num(100.0 * result.escape_rate(), 1) << " %\n"
+              << "threads:                   " << result.threads_used << "\n"
+              << "wall time:                 "
+              << text_table::num(result.wall_s, 2) << " s  ("
+              << text_table::num(result.scenarios_per_second(), 2)
+              << " scenarios/s)\n";
+
+    bool engine_errors = false;
+    for (const auto& r : result.results)
+        if (r.engine_error) {
+            engine_errors = true;
+            std::cerr << "engine error in scenario " << r.sc.index << " ("
+                      << r.sc.preset_name << ", "
+                      << bist::to_string(r.sc.fault) << "): " << r.error
+                      << "\n";
+        }
+
+    auto write_file = [](const std::string& path, const std::string& body) {
+        std::ofstream out(path, std::ios::binary);
+        out << body;
+        out.flush();
+        if (!out.good()) {
+            std::cerr << "cannot write " << path << "\n";
+            std::exit(1);
+        }
+        std::cout << "wrote " << path << "\n";
+    };
+    if (!json_path.empty())
+        write_file(json_path, campaign::to_json(result));
+    if (!csv_path.empty())
+        write_file(csv_path, campaign::coverage_csv(result));
+    if (!scenarios_path.empty())
+        write_file(scenarios_path, campaign::scenarios_csv(result));
+
+    return engine_errors ? 1 : 0;
+}
+
+} // namespace

@@ -236,11 +236,15 @@ std::pair<bist_report, bist_artifacts> bist_engine::run_verbose() const {
     const auto psd = envelope_psd(art.envelope, welch_segment);
     report.mask = config_.preset.mask.check(psd);
 
-    // Scalar spectral metrics: ACPR and occupied bandwidth.
+    // Scalar spectral metrics: ACPR and occupied bandwidth.  Offset
+    // precedence: explicit config > the preset's standard-mandated offset
+    // > auto (1.5 × occupied bandwidth).
     {
-        const double offset = config_.acpr_offset_hz > 0.0
-                                  ? config_.acpr_offset_hz
-                                  : 1.5 * occ_graded;
+        const double offset =
+            config_.acpr_offset_hz > 0.0 ? config_.acpr_offset_hz
+            : config_.preset.acpr_offset_hz > 0.0
+                ? config_.preset.acpr_offset_hz
+                : 1.5 * occ_graded;
         report.acpr = waveform::measure_acpr(psd, occ_graded, offset);
         report.acpr_limit_dbc = config_.acpr_limit_dbc;
         report.acpr_pass = config_.acpr_limit_dbc >= 0.0 ||

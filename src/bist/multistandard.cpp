@@ -1,27 +1,38 @@
 #include "bist/multistandard.hpp"
 
+#include "campaign/campaign.hpp"
+#include "core/contracts.hpp"
+
 namespace sdrbist::bist {
 
 std::vector<bist_report>
 run_catalogue(const bist_config& base,
               const std::vector<waveform::standard_preset>& presets) {
+    if (presets.empty())
+        return {}; // legacy behaviour: zero presets, zero reports
+
+    campaign::campaign_config cc;
+    cc.base = base;
+    cc.presets = presets;
+    cc.faults = {fault_kind::none};
+    cc.trials = 1;
+    // Legacy semantics: every preset runs with the base configuration's
+    // seeds (the serial loop never reseeded), so results stay bit-identical
+    // with the pre-campaign implementation.
+    cc.reseed_trials = false;
+    cc.relax_mask_to_floor = true;
+
+    const campaign::campaign_runner runner(std::move(cc));
+    const auto result = runner.run();
+
     std::vector<bist_report> reports;
-    reports.reserve(presets.size());
-    for (const auto& preset : presets) {
-        bist_config cfg = base;
-        cfg.preset = preset;
-        // Keep the mask limits above what this capture hardware can
-        // measure at the preset's carrier (paper §II-B3: jitter-induced
-        // wideband noise bounds the observable floor).
-        const double occupied = preset.stimulus.symbol_rate *
-                                (1.0 + preset.stimulus.rolloff);
-        const double floor = waveform::bist_measurement_floor_dbc(
-            preset.default_carrier_hz, cfg.tiadc.jitter_rms_s, occupied,
-            cfg.tiadc.channel_rate_hz);
-        cfg.preset.mask =
-            waveform::relax_to_measurement_floor(preset.mask, floor);
-        const bist_engine engine(cfg);
-        reports.push_back(engine.run());
+    reports.reserve(result.results.size());
+    // Grid order with a single fault and trial *is* preset order, which
+    // makes the report ordering deterministic by construction.
+    for (const auto& r : result.results) {
+        if (r.engine_error)
+            throw contract_violation(r.sc.preset_name + ": " + r.error);
+        reports.push_back(r.report);
     }
     return reports;
 }

@@ -2,6 +2,12 @@
 /// \brief Run the BIST across the whole standard catalogue — the paper's
 ///        headline flexibility claim: one architecture, any configuration,
 ///        no extra hardware per standard.
+///
+/// Since the campaign subsystem landed this is a thin convenience wrapper:
+/// `run_catalogue` delegates to `campaign::campaign_runner` with a
+/// presets-only grid (no faults, one trial, base seeds preserved) and
+/// returns the reports in catalogue order.  Use campaign/campaign.hpp
+/// directly for fault grids, Monte-Carlo trials and coverage matrices.
 #pragma once
 
 #include <vector>
@@ -11,7 +17,9 @@
 namespace sdrbist::bist {
 
 /// Run the given base configuration against every preset in the catalogue
-/// (the preset's stimulus, mask and carrier replace the base's).
+/// (the preset's stimulus, mask, carrier and ACPR offset replace the
+/// base's; masks are relaxed to the jitter measurement floor).  Reports
+/// are returned in preset order regardless of execution schedule.
 std::vector<bist_report>
 run_catalogue(const bist_config& base,
               const std::vector<waveform::standard_preset>& presets =

@@ -1,0 +1,182 @@
+#include "campaign/campaign.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <exception>
+
+#include "core/contracts.hpp"
+#include "core/random.hpp"
+#include "core/thread_pool.hpp"
+
+namespace sdrbist::campaign {
+
+namespace {
+
+/// splitmix64 finaliser — the standard 64-bit mixing step.  Used to derive
+/// scenario seeds from (master seed, grid coordinates) so the stream is a
+/// pure function of the grid position, never of execution order.
+std::uint64_t mix64(std::uint64_t x) {
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
+std::uint64_t derive_seed(std::uint64_t master, std::size_t preset_index,
+                          std::size_t fault_index, std::size_t trial) {
+    std::uint64_t h = mix64(master);
+    h = mix64(h ^ (static_cast<std::uint64_t>(preset_index) + 1));
+    h = mix64(h ^ (static_cast<std::uint64_t>(fault_index) + 1));
+    h = mix64(h ^ (static_cast<std::uint64_t>(trial) + 1));
+    return h;
+}
+
+} // namespace
+
+std::vector<scenario> expand_grid(const campaign_config& cfg) {
+    SDRBIST_EXPECTS(!cfg.presets.empty());
+    SDRBIST_EXPECTS(!cfg.faults.empty());
+    SDRBIST_EXPECTS(cfg.trials >= 1);
+
+    std::vector<scenario> grid;
+    grid.reserve(cfg.presets.size() * cfg.faults.size() * cfg.trials);
+    std::size_t index = 0;
+    for (std::size_t p = 0; p < cfg.presets.size(); ++p)
+        for (std::size_t f = 0; f < cfg.faults.size(); ++f)
+            for (std::size_t t = 0; t < cfg.trials; ++t) {
+                scenario sc;
+                sc.index = index++;
+                sc.preset_index = p;
+                sc.fault_index = f;
+                sc.trial = t;
+                sc.fault = cfg.faults[f];
+                sc.preset_name = cfg.presets[p].name;
+                sc.seed = derive_seed(cfg.seed, p, f, t);
+                grid.push_back(std::move(sc));
+            }
+    return grid;
+}
+
+bist::bist_config scenario_config(const campaign_config& cfg,
+                                  const scenario& sc) {
+    SDRBIST_EXPECTS(sc.preset_index < cfg.presets.size());
+    SDRBIST_EXPECTS(sc.fault_index < cfg.faults.size());
+
+    bist::bist_config out = cfg.base;
+    const auto& preset = cfg.presets[sc.preset_index];
+    out.preset = preset;
+    out.tx = bist::inject_fault(out.tx, sc.fault);
+
+    if (cfg.reseed_trials) {
+        rng gen(sc.seed);
+        out.tx.seed = gen.next_u64();
+        out.tiadc.seed = gen.next_u64();
+        out.probe_seed = gen.next_u64();
+        // Device-population spread.  The gaussians are always drawn so the
+        // seed stream does not depend on which perturbations are enabled.
+        const double jitter_g = gen.gaussian();
+        const double dcde_g = gen.gaussian();
+        out.tiadc.jitter_rms_s *=
+            std::exp(cfg.perturb.jitter_rel_sigma * jitter_g);
+        out.tiadc.delay_element.static_error_s +=
+            cfg.perturb.dcde_static_sigma_s * dcde_g;
+    }
+
+    if (cfg.relax_mask_to_floor) {
+        // Keep the mask limits above what this capture hardware can measure
+        // at the preset's carrier (paper §II-B3: jitter-induced wideband
+        // noise bounds the observable floor).  Uses the *perturbed* jitter:
+        // a noisier trial device also has a higher measurement floor.
+        const double occupied = preset.stimulus.symbol_rate *
+                                (1.0 + preset.stimulus.rolloff);
+        const double floor = waveform::bist_measurement_floor_dbc(
+            preset.default_carrier_hz, out.tiadc.jitter_rms_s, occupied,
+            out.tiadc.channel_rate_hz);
+        out.preset.mask =
+            waveform::relax_to_measurement_floor(preset.mask, floor);
+    }
+    return out;
+}
+
+const coverage_cell& campaign_result::cell(std::size_t preset_index,
+                                           std::size_t fault_index) const {
+    SDRBIST_EXPECTS(preset_index < matrix.size());
+    SDRBIST_EXPECTS(fault_index < matrix[preset_index].size());
+    return matrix[preset_index][fault_index];
+}
+
+campaign_runner::campaign_runner(campaign_config config)
+    : config_(std::move(config)) {
+    SDRBIST_EXPECTS(!config_.presets.empty());
+    SDRBIST_EXPECTS(!config_.faults.empty());
+    SDRBIST_EXPECTS(config_.trials >= 1);
+}
+
+campaign_result campaign_runner::run() const {
+    using clock = std::chrono::steady_clock;
+
+    const auto grid = expand_grid(config_);
+    campaign_result out;
+    out.trials = config_.trials;
+    out.seed = config_.seed;
+    out.preset_names.reserve(config_.presets.size());
+    for (const auto& p : config_.presets)
+        out.preset_names.push_back(p.name);
+    out.fault_names.reserve(config_.faults.size());
+    for (const auto f : config_.faults)
+        out.fault_names.push_back(bist::to_string(f));
+
+    // Execute: each job reads the shared config and writes only its own
+    // grid-indexed slot, so thread count cannot affect any result.
+    out.results.resize(grid.size());
+    const auto wall_start = clock::now();
+    {
+        // Never spawn more workers than there are scenarios.
+        const std::size_t requested =
+            config_.threads ? config_.threads
+                            : thread_pool::default_thread_count();
+        thread_pool pool(std::min(requested, grid.size()));
+        out.threads_used = pool.size();
+        parallel_for_index(pool, grid.size(), [&](std::size_t i) {
+            scenario_result& slot = out.results[i];
+            slot.sc = grid[i];
+            const auto t0 = clock::now();
+            try {
+                const bist::bist_engine engine(
+                    scenario_config(config_, grid[i]));
+                slot.report = engine.run();
+            } catch (const std::exception& e) {
+                slot.engine_error = true;
+                slot.error = e.what();
+            }
+            slot.elapsed_s =
+                std::chrono::duration<double>(clock::now() - t0).count();
+        });
+    }
+    out.wall_s =
+        std::chrono::duration<double>(clock::now() - wall_start).count();
+
+    // Aggregate in grid order (deterministic regardless of completion order).
+    out.matrix.assign(config_.presets.size(),
+                      std::vector<coverage_cell>(config_.faults.size()));
+    for (const auto& r : out.results) {
+        coverage_cell& cell = out.matrix[r.sc.preset_index][r.sc.fault_index];
+        ++cell.runs;
+        if (r.flagged())
+            ++cell.flagged;
+        if (r.sc.fault == bist::fault_kind::none) {
+            ++out.golden_runs;
+            if (!r.flagged())
+                ++out.golden_passes;
+        } else {
+            ++out.fault_runs;
+            if (r.flagged())
+                ++out.fault_detected;
+        }
+        out.scenario_cpu_s += r.elapsed_s;
+    }
+    return out;
+}
+
+} // namespace sdrbist::campaign

@@ -1,0 +1,173 @@
+/// \file campaign.hpp
+/// \brief Parallel BIST campaigns: declarative scenario grids graded at
+///        production scale.
+///
+/// The paper's claim is *flexibility* — one BIST architecture for any
+/// standard and any fault.  A campaign makes that claim measurable: it
+/// expands a grid of standard presets × injected faults × Monte-Carlo
+/// trials into independent `bist_engine` jobs, executes them on a thread
+/// pool, and aggregates the reports into a fault-coverage matrix plus
+/// yield/escape statistics.
+///
+/// Determinism contract: every scenario's seeds are derived from the
+/// campaign master seed and the scenario's *grid coordinates* (never from
+/// execution order), and results land in grid-indexed slots — so the
+/// coverage matrix is bit-identical at 1 thread and at N threads.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bist/engine.hpp"
+#include "bist/faults.hpp"
+#include "waveform/standard.hpp"
+
+namespace sdrbist::campaign {
+
+/// Monte-Carlo perturbations applied per trial on top of the derived seeds
+/// (device-to-device spread a production population would show).
+struct trial_perturbation {
+    /// Log-normal sigma on the TIADC sampling jitter: per trial the rms
+    /// jitter is multiplied by exp(N(0, sigma)).  0 = no spread.
+    double jitter_rel_sigma = 0.0;
+    /// Gaussian DCDE static-error spread (seconds rms) added to the delay
+    /// element per trial.  0 = no spread.
+    double dcde_static_sigma_s = 0.0;
+};
+
+/// Declarative scenario grid.  The expanded grid is ordered preset-major,
+/// then fault, then trial — `scenario::index` is the row number.
+struct campaign_config {
+    bist::bist_config base{};               ///< shared engine configuration
+    std::vector<waveform::standard_preset> presets =
+        waveform::standard_catalogue();
+    std::vector<bist::fault_kind> faults = bist::fault_catalogue();
+    std::size_t trials = 1;                 ///< Monte-Carlo repeats per cell
+
+    std::uint64_t seed = 0x5EEDC0DE;        ///< campaign master seed
+    /// Derive fresh per-scenario seeds (tx, tiadc, probe) from `seed` and
+    /// the grid coordinates.  When false every scenario keeps the seeds of
+    /// `base` — the legacy `run_catalogue` behaviour.
+    bool reseed_trials = true;
+    trial_perturbation perturb{};
+
+    /// Relax each preset's mask to the jitter measurement floor at the
+    /// preset carrier (paper §II-B3), as `run_catalogue` always did.
+    bool relax_mask_to_floor = true;
+
+    std::size_t threads = 0;                ///< worker count; 0 = hardware
+};
+
+/// One expanded grid row.
+struct scenario {
+    std::size_t index = 0;        ///< row in the expanded grid
+    std::size_t preset_index = 0; ///< into campaign_config::presets
+    std::size_t fault_index = 0;  ///< into campaign_config::faults
+    std::size_t trial = 0;        ///< Monte-Carlo trial number
+    bist::fault_kind fault = bist::fault_kind::none;
+    std::string preset_name;
+    std::uint64_t seed = 0;       ///< derived scenario seed (grid-stable)
+};
+
+/// Outcome of one scenario.
+struct scenario_result {
+    scenario sc{};
+    bist::bist_report report{};
+    bool engine_error = false; ///< config rejected / engine threw
+    std::string error;         ///< exception text when engine_error
+    double elapsed_s = 0.0;    ///< wall time of this scenario's engine run
+
+    /// FAIL verdict (an injected fault should flip this to true).
+    [[nodiscard]] bool flagged() const { return engine_error || !report.pass(); }
+};
+
+/// One cell of the fault-coverage matrix: all trials of (preset, fault).
+struct coverage_cell {
+    std::size_t runs = 0;
+    std::size_t flagged = 0; ///< FAIL verdicts among the runs
+
+    /// Detection rate for fault columns; false-alarm rate for `none`.
+    [[nodiscard]] double fail_rate() const {
+        return runs == 0 ? 0.0
+                         : static_cast<double>(flagged) /
+                               static_cast<double>(runs);
+    }
+    [[nodiscard]] double pass_rate() const { return 1.0 - fail_rate(); }
+};
+
+/// Aggregated campaign artefacts.
+struct campaign_result {
+    // Echo of the grid axes (for export and rendering).
+    std::vector<std::string> preset_names;
+    std::vector<std::string> fault_names;
+    std::size_t trials = 0;
+    std::uint64_t seed = 0;
+    std::size_t threads_used = 0;
+
+    /// Per-scenario outcomes in grid order (deterministic).
+    std::vector<scenario_result> results;
+    /// matrix[preset][fault] — detection rates per cell.
+    std::vector<std::vector<coverage_cell>> matrix;
+
+    // Population statistics.
+    std::size_t golden_runs = 0;    ///< scenarios with fault == none
+    std::size_t golden_passes = 0;  ///< of which PASS (yield)
+    std::size_t fault_runs = 0;     ///< scenarios with an injected fault
+    std::size_t fault_detected = 0; ///< of which FAIL (coverage)
+
+    // Timing.
+    double wall_s = 0.0;         ///< end-to-end campaign wall time
+    double scenario_cpu_s = 0.0; ///< sum of per-scenario engine times
+
+    [[nodiscard]] std::size_t scenario_count() const { return results.size(); }
+    /// Fraction of golden devices passing (production yield proxy).
+    [[nodiscard]] double yield() const {
+        return golden_runs == 0 ? 0.0
+                                : static_cast<double>(golden_passes) /
+                                      static_cast<double>(golden_runs);
+    }
+    /// Fraction of faulty devices flagged.
+    [[nodiscard]] double coverage() const {
+        return fault_runs == 0 ? 0.0
+                               : static_cast<double>(fault_detected) /
+                                     static_cast<double>(fault_runs);
+    }
+    /// Fraction of faulty devices shipped (1 - coverage).
+    [[nodiscard]] double escape_rate() const {
+        return fault_runs == 0 ? 0.0 : 1.0 - coverage();
+    }
+    [[nodiscard]] double scenarios_per_second() const {
+        return wall_s <= 0.0 ? 0.0
+                             : static_cast<double>(results.size()) / wall_s;
+    }
+    [[nodiscard]] const coverage_cell& cell(std::size_t preset_index,
+                                            std::size_t fault_index) const;
+};
+
+/// Expand the grid (preset-major, then fault, then trial) with derived
+/// per-scenario seeds.  Pure function of the config.
+std::vector<scenario> expand_grid(const campaign_config& cfg);
+
+/// Materialise the engine configuration for one scenario: preset applied
+/// (mask optionally relaxed to the measurement floor, per-preset
+/// `acpr_offset_hz` preserved), fault injected, seeds/perturbations derived.
+bist::bist_config scenario_config(const campaign_config& cfg,
+                                  const scenario& sc);
+
+/// Executes campaigns on a fixed thread pool.
+class campaign_runner {
+public:
+    explicit campaign_runner(campaign_config config);
+
+    /// Run the whole grid.  Results are in grid order and bit-identical
+    /// for any thread count.
+    [[nodiscard]] campaign_result run() const;
+
+    [[nodiscard]] const campaign_config& config() const { return config_; }
+
+private:
+    campaign_config config_;
+};
+
+} // namespace sdrbist::campaign

@@ -1,0 +1,583 @@
+#include "campaign/export.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "core/contracts.hpp"
+
+namespace sdrbist::campaign {
+
+// ---------------------------------------------------------------------------
+// Writer helpers
+// ---------------------------------------------------------------------------
+
+namespace {
+
+
+std::string format_size(std::size_t v) { return std::to_string(v); }
+
+
+std::string csv_cell(const std::string& s) {
+    if (s.find_first_of(",\"\n\r") == std::string::npos)
+        return s;
+    std::string out;
+    out.reserve(s.size() + 2);
+    out.push_back('"');
+    for (const char c : s) {
+        if (c == '"')
+            out.push_back('"');
+        out.push_back(c);
+    }
+    out.push_back('"');
+    return out;
+}
+
+/// Emits one JSON object with caller-controlled field order.
+class json_object_writer {
+public:
+    void field(const std::string& key, const std::string& raw_value) {
+        if (!first_)
+            body_ += ',';
+        first_ = false;
+        body_ += json_quote(key);
+        body_ += ':';
+        body_ += raw_value;
+    }
+    void string_field(const std::string& key, const std::string& value) {
+        field(key, json_quote(value));
+    }
+    void number_field(const std::string& key, double value) {
+        field(key, json_number(value));
+    }
+    void size_field(const std::string& key, std::size_t value) {
+        field(key, format_size(value));
+    }
+    void bool_field(const std::string& key, bool value) {
+        field(key, value ? "true" : "false");
+    }
+    [[nodiscard]] std::string str() const { return "{" + body_ + "}"; }
+
+private:
+    std::string body_;
+    bool first_ = true;
+};
+
+std::string scenario_json(const scenario_result& r, const export_options& opt) {
+    json_object_writer o;
+    o.size_field("index", r.sc.index);
+    o.string_field("preset", r.sc.preset_name);
+    o.string_field("fault", bist::to_string(r.sc.fault));
+    o.size_field("trial", r.sc.trial);
+    // Seeds are full 64-bit values; JSON numbers only carry 53 bits, so
+    // export as a decimal string.
+    o.string_field("seed", std::to_string(r.sc.seed));
+    o.bool_field("pass", !r.flagged());
+    o.bool_field("engine_error", r.engine_error);
+    if (r.engine_error)
+        o.string_field("error", r.error);
+    o.number_field("carrier_hz", r.report.carrier_hz);
+    o.number_field("skew_estimate_s", r.report.skew.d_hat);
+    o.bool_field("skew_converged", r.report.skew.converged);
+    o.bool_field("dual_rate_conditions_ok", r.report.dual_rate_conditions_ok);
+    o.bool_field("mask_pass", r.report.mask.pass);
+    o.number_field("mask_worst_margin_db", r.report.mask.worst_margin_db);
+    o.bool_field("evm_pass", r.report.evm_pass);
+    o.number_field("evm_percent", r.report.evm.evm_percent());
+    o.bool_field("acpr_pass", r.report.acpr_pass);
+    o.number_field("acpr_worst_dbc", r.report.acpr.worst_dbc());
+    o.bool_field("power_pass", r.report.power_pass);
+    o.number_field("measured_output_rms", r.report.measured_output_rms);
+    o.number_field("occupied_bw_hz", r.report.occupied_bw_hz);
+    if (opt.include_timing)
+        o.number_field("elapsed_s", r.elapsed_s);
+    return o.str();
+}
+
+} // namespace
+
+std::string json_number(double v) {
+    if (!std::isfinite(v))
+        return "null";
+    char buf[64];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    return std::string(buf, res.ptr);
+}
+
+std::string json_quote(const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 2);
+    out.push_back('"');
+    for (const char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+std::string to_json(const campaign_result& result, export_options opt) {
+    std::string grid_axes;
+    {
+        json_object_writer o;
+        std::string presets = "[";
+        for (std::size_t i = 0; i < result.preset_names.size(); ++i) {
+            if (i)
+                presets += ',';
+            presets += json_quote(result.preset_names[i]);
+        }
+        presets += ']';
+        std::string faults = "[";
+        for (std::size_t i = 0; i < result.fault_names.size(); ++i) {
+            if (i)
+                faults += ',';
+            faults += json_quote(result.fault_names[i]);
+        }
+        faults += ']';
+        o.field("presets", presets);
+        o.field("faults", faults);
+        o.size_field("trials", result.trials);
+        o.string_field("seed", std::to_string(result.seed));
+        if (opt.include_timing)
+            o.size_field("threads", result.threads_used);
+        grid_axes = o.str();
+    }
+
+    std::string summary;
+    {
+        json_object_writer o;
+        o.size_field("scenarios", result.scenario_count());
+        o.size_field("golden_runs", result.golden_runs);
+        o.size_field("golden_passes", result.golden_passes);
+        o.number_field("yield", result.yield());
+        o.size_field("fault_runs", result.fault_runs);
+        o.size_field("fault_detected", result.fault_detected);
+        o.number_field("coverage", result.coverage());
+        o.number_field("escape_rate", result.escape_rate());
+        if (opt.include_timing) {
+            o.number_field("wall_seconds", result.wall_s);
+            o.number_field("scenario_cpu_seconds", result.scenario_cpu_s);
+            o.number_field("scenarios_per_second",
+                           result.scenarios_per_second());
+        }
+        summary = o.str();
+    }
+
+    std::string matrix = "[";
+    for (std::size_t p = 0; p < result.matrix.size(); ++p)
+        for (std::size_t f = 0; f < result.matrix[p].size(); ++f) {
+            if (matrix.size() > 1)
+                matrix += ',';
+            const auto& cell = result.matrix[p][f];
+            json_object_writer o;
+            o.string_field("preset", result.preset_names[p]);
+            o.string_field("fault", result.fault_names[f]);
+            o.size_field("runs", cell.runs);
+            o.size_field("flagged", cell.flagged);
+            o.number_field("fail_rate", cell.fail_rate());
+            matrix += o.str();
+        }
+    matrix += ']';
+
+    json_object_writer doc;
+    doc.field("campaign", grid_axes);
+    doc.field("summary", summary);
+    doc.field("coverage_matrix", matrix);
+    if (opt.include_scenarios) {
+        std::string rows = "[";
+        for (std::size_t i = 0; i < result.results.size(); ++i) {
+            if (i)
+                rows += ',';
+            rows += scenario_json(result.results[i], opt);
+        }
+        rows += ']';
+        doc.field("scenarios", rows);
+    }
+    return doc.str();
+}
+
+std::string coverage_csv(const campaign_result& result) {
+    std::string out = "preset,fault,runs,flagged,fail_rate\n";
+    for (std::size_t p = 0; p < result.matrix.size(); ++p)
+        for (std::size_t f = 0; f < result.matrix[p].size(); ++f) {
+            const auto& cell = result.matrix[p][f];
+            out += csv_cell(result.preset_names[p]);
+            out += ',';
+            out += csv_cell(result.fault_names[f]);
+            out += ',';
+            out += format_size(cell.runs);
+            out += ',';
+            out += format_size(cell.flagged);
+            out += ',';
+            out += json_number(cell.fail_rate());
+            out += '\n';
+        }
+    return out;
+}
+
+std::string scenarios_csv(const campaign_result& result, export_options opt) {
+    std::string out = "index,preset,fault,trial,seed,pass,evm_percent,"
+                      "mask_worst_margin_db,acpr_worst_dbc,skew_estimate_s,"
+                      "error";
+    if (opt.include_timing)
+        out += ",elapsed_s";
+    out += '\n';
+    for (const auto& r : result.results) {
+        out += format_size(r.sc.index);
+        out += ',';
+        out += csv_cell(r.sc.preset_name);
+        out += ',';
+        out += csv_cell(bist::to_string(r.sc.fault));
+        out += ',';
+        out += format_size(r.sc.trial);
+        out += ',';
+        out += std::to_string(r.sc.seed);
+        out += ',';
+        out += r.flagged() ? "0" : "1";
+        out += ',';
+        out += json_number(r.report.evm.evm_percent());
+        out += ',';
+        out += json_number(r.report.mask.worst_margin_db);
+        out += ',';
+        out += json_number(r.report.acpr.worst_dbc());
+        out += ',';
+        out += json_number(r.report.skew.d_hat);
+        out += ',';
+        out += csv_cell(r.error);
+        if (opt.include_timing) {
+            out += ',';
+            out += json_number(r.elapsed_s);
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+text_table coverage_table(const campaign_result& result) {
+    std::vector<std::string> headers;
+    headers.reserve(result.fault_names.size() + 1);
+    headers.push_back("preset");
+    for (const auto& f : result.fault_names)
+        headers.push_back(f);
+    text_table table(std::move(headers));
+    table.set_title("fault-coverage matrix (flagged/runs)");
+    for (std::size_t p = 0; p < result.matrix.size(); ++p) {
+        std::vector<std::string> row;
+        row.reserve(result.matrix[p].size() + 1);
+        row.push_back(result.preset_names[p]);
+        for (const auto& cell : result.matrix[p])
+            row.push_back(format_size(cell.flagged) + "/" +
+                          format_size(cell.runs));
+        table.add_row(std::move(row));
+    }
+    return table;
+}
+
+// ---------------------------------------------------------------------------
+// json_value accessors
+// ---------------------------------------------------------------------------
+
+bool json_value::as_bool() const {
+    SDRBIST_EXPECTS(is_bool());
+    return std::get<bool>(v_);
+}
+
+double json_value::as_number() const {
+    SDRBIST_EXPECTS(is_number());
+    return std::get<double>(v_);
+}
+
+const std::string& json_value::as_string() const {
+    SDRBIST_EXPECTS(is_string());
+    return std::get<std::string>(v_);
+}
+
+const json_value::array& json_value::as_array() const {
+    SDRBIST_EXPECTS(is_array());
+    return std::get<array>(v_);
+}
+
+const json_value::object& json_value::as_object() const {
+    SDRBIST_EXPECTS(is_object());
+    return std::get<object>(v_);
+}
+
+const json_value& json_value::at(const std::string& key) const {
+    const auto& obj = as_object();
+    const auto it = obj.find(key);
+    SDRBIST_EXPECTS(it != obj.end());
+    return it->second;
+}
+
+const json_value& json_value::at(std::size_t i) const {
+    const auto& arr = as_array();
+    SDRBIST_EXPECTS(i < arr.size());
+    return arr[i];
+}
+
+std::size_t json_value::size() const {
+    if (is_array())
+        return std::get<array>(v_).size();
+    if (is_object())
+        return std::get<object>(v_).size();
+    SDRBIST_EXPECTS(!"json_value::size on a scalar");
+    return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Parser (recursive descent over the subset the exporter emits)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class json_parser {
+public:
+    explicit json_parser(const std::string& text) : text_(text) {}
+
+    json_value parse_document() {
+        json_value v = parse_value();
+        skip_ws();
+        SDRBIST_EXPECTS(pos_ == text_.size());
+        return v;
+    }
+
+private:
+    void skip_ws() {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char peek() {
+        SDRBIST_EXPECTS(pos_ < text_.size());
+        return text_[pos_];
+    }
+
+    void expect(char c) {
+        SDRBIST_EXPECTS(pos_ < text_.size() && text_[pos_] == c);
+        ++pos_;
+    }
+
+    bool consume_literal(const char* lit) {
+        const std::size_t n = std::char_traits<char>::length(lit);
+        if (text_.compare(pos_, n, lit) == 0) {
+            pos_ += n;
+            return true;
+        }
+        return false;
+    }
+
+    json_value parse_value() {
+        skip_ws();
+        const char c = peek();
+        if (c == '{')
+            return parse_object();
+        if (c == '[')
+            return parse_array();
+        if (c == '"')
+            return json_value(parse_string());
+        if (consume_literal("true"))
+            return json_value(true);
+        if (consume_literal("false"))
+            return json_value(false);
+        if (consume_literal("null"))
+            return json_value(nullptr);
+        return parse_number();
+    }
+
+    json_value parse_object() {
+        expect('{');
+        json_value::object obj;
+        skip_ws();
+        if (peek() == '}') {
+            ++pos_;
+            return json_value(std::move(obj));
+        }
+        for (;;) {
+            skip_ws();
+            std::string key = parse_string();
+            skip_ws();
+            expect(':');
+            obj.emplace(std::move(key), parse_value());
+            skip_ws();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return json_value(std::move(obj));
+        }
+    }
+
+    json_value parse_array() {
+        expect('[');
+        json_value::array arr;
+        skip_ws();
+        if (peek() == ']') {
+            ++pos_;
+            return json_value(std::move(arr));
+        }
+        for (;;) {
+            arr.push_back(parse_value());
+            skip_ws();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return json_value(std::move(arr));
+        }
+    }
+
+    std::string parse_string() {
+        expect('"');
+        std::string out;
+        for (;;) {
+            SDRBIST_EXPECTS(pos_ < text_.size());
+            const char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            SDRBIST_EXPECTS(pos_ < text_.size());
+            const char esc = text_[pos_++];
+            switch (esc) {
+            case '"': out.push_back('"'); break;
+            case '\\': out.push_back('\\'); break;
+            case '/': out.push_back('/'); break;
+            case 'b': out.push_back('\b'); break;
+            case 'f': out.push_back('\f'); break;
+            case 'n': out.push_back('\n'); break;
+            case 'r': out.push_back('\r'); break;
+            case 't': out.push_back('\t'); break;
+            case 'u': {
+                SDRBIST_EXPECTS(pos_ + 4 <= text_.size());
+                unsigned code = 0;
+                const auto res = std::from_chars(
+                    text_.data() + pos_, text_.data() + pos_ + 4, code, 16);
+                SDRBIST_EXPECTS(res.ptr == text_.data() + pos_ + 4);
+                pos_ += 4;
+                // UTF-8 encode (no surrogate-pair support; the exporter
+                // only emits \u00XX control escapes).
+                if (code < 0x80) {
+                    out.push_back(static_cast<char>(code));
+                } else if (code < 0x800) {
+                    out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+                    out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+                } else {
+                    out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+                    out.push_back(
+                        static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+                    out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+                }
+                break;
+            }
+            default:
+                SDRBIST_EXPECTS(!"invalid escape sequence");
+            }
+        }
+    }
+
+    json_value parse_number() {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+'))
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '-' ||
+                text_[pos_] == '+'))
+            ++pos_;
+        double value = 0.0;
+        const auto res = std::from_chars(text_.data() + start,
+                                         text_.data() + pos_, value);
+        SDRBIST_EXPECTS(res.ec == std::errc() &&
+                        res.ptr == text_.data() + pos_);
+        return json_value(value);
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+json_value parse_json(const std::string& text) {
+    return json_parser(text).parse_document();
+}
+
+std::vector<std::vector<std::string>> parse_csv(const std::string& text) {
+    std::vector<std::vector<std::string>> rows;
+    std::vector<std::string> row;
+    std::string cell;
+    bool in_quotes = false;
+    bool cell_started = false;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        if (in_quotes) {
+            if (c == '"') {
+                if (i + 1 < text.size() && text[i + 1] == '"') {
+                    cell.push_back('"');
+                    ++i;
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                cell.push_back(c);
+            }
+            continue;
+        }
+        switch (c) {
+        case '"':
+            in_quotes = true;
+            cell_started = true;
+            break;
+        case ',':
+            row.push_back(std::move(cell));
+            cell.clear();
+            cell_started = true;
+            break;
+        case '\r':
+            break;
+        case '\n':
+            if (cell_started || !cell.empty() || !row.empty()) {
+                row.push_back(std::move(cell));
+                cell.clear();
+                rows.push_back(std::move(row));
+                row.clear();
+                cell_started = false;
+            }
+            break;
+        default:
+            cell.push_back(c);
+            cell_started = true;
+        }
+    }
+    SDRBIST_EXPECTS(!in_quotes);
+    if (cell_started || !cell.empty() || !row.empty()) {
+        row.push_back(std::move(cell));
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+} // namespace sdrbist::campaign

@@ -1,0 +1,115 @@
+/// \file export.hpp
+/// \brief Structured campaign-result export: deterministic JSON and CSV,
+///        plus text-table rendering through core/table.
+///
+/// Export is deterministic: field order is fixed, numbers are printed in
+/// shortest round-trip form, and rows follow the grid order — two campaigns
+/// with the same config produce byte-identical artefacts (timing fields can
+/// be suppressed via export_options for byte-level comparisons).
+#pragma once
+
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+#include "core/table.hpp"
+
+namespace sdrbist::campaign {
+
+/// Controls for the exporters.
+struct export_options {
+    /// Include wall/elapsed timing fields.  These are measured, hence not
+    /// reproducible run-to-run; disable for byte-identical artefacts.
+    bool include_timing = true;
+    /// Include the per-scenario rows (the bulk of the payload) in JSON.
+    bool include_scenarios = true;
+};
+
+/// Full campaign result as a JSON document (objects with fixed key order).
+std::string to_json(const campaign_result& result, export_options opt = {});
+
+/// Fault-coverage matrix as CSV: preset,fault,runs,flagged,fail_rate.
+std::string coverage_csv(const campaign_result& result);
+
+/// Per-scenario rows as CSV (grid order).
+std::string scenarios_csv(const campaign_result& result,
+                          export_options opt = {});
+
+/// Coverage matrix rendered as a core/table text table (presets as rows,
+/// faults as columns, cells flagged/runs).
+text_table coverage_table(const campaign_result& result);
+
+// ---------------------------------------------------------------------------
+// Minimal JSON document model + parser, sufficient for everything the
+// exporter emits (objects, arrays, strings, finite numbers, bools, null).
+// Exists so tests and downstream tools can round-trip campaign artefacts
+// without an external dependency.
+// ---------------------------------------------------------------------------
+
+class json_value {
+public:
+    using array = std::vector<json_value>;
+    using object = std::map<std::string, json_value>;
+
+    json_value() = default;
+    json_value(std::nullptr_t) {}
+    json_value(bool b) : v_(b) {}
+    json_value(double d) : v_(d) {}
+    json_value(std::string s) : v_(std::move(s)) {}
+    json_value(array a) : v_(std::move(a)) {}
+    json_value(object o) : v_(std::move(o)) {}
+
+    [[nodiscard]] bool is_null() const {
+        return std::holds_alternative<std::nullptr_t>(v_);
+    }
+    [[nodiscard]] bool is_bool() const {
+        return std::holds_alternative<bool>(v_);
+    }
+    [[nodiscard]] bool is_number() const {
+        return std::holds_alternative<double>(v_);
+    }
+    [[nodiscard]] bool is_string() const {
+        return std::holds_alternative<std::string>(v_);
+    }
+    [[nodiscard]] bool is_array() const {
+        return std::holds_alternative<array>(v_);
+    }
+    [[nodiscard]] bool is_object() const {
+        return std::holds_alternative<object>(v_);
+    }
+
+    /// Typed accessors; throw contract_violation on kind mismatch.
+    [[nodiscard]] bool as_bool() const;
+    [[nodiscard]] double as_number() const;
+    [[nodiscard]] const std::string& as_string() const;
+    [[nodiscard]] const array& as_array() const;
+    [[nodiscard]] const object& as_object() const;
+
+    /// Object member access; throws contract_violation when missing.
+    [[nodiscard]] const json_value& at(const std::string& key) const;
+    /// Array element access; throws contract_violation when out of range.
+    [[nodiscard]] const json_value& at(std::size_t i) const;
+    [[nodiscard]] std::size_t size() const;
+
+private:
+    std::variant<std::nullptr_t, bool, double, std::string, array, object>
+        v_ = nullptr;
+};
+
+/// Parse a JSON document.  Throws contract_violation on malformed input.
+json_value parse_json(const std::string& text);
+
+/// Render a string as a quoted JSON string literal (RFC 8259 escaping).
+/// Shared by the exporters and the bench BENCH_JSON writer.
+std::string json_quote(const std::string& s);
+
+/// Render a double as a JSON number: shortest form that round-trips to the
+/// same double; `null` for non-finite values (JSON has no nan/inf).
+std::string json_number(double v);
+
+/// Parse CSV text (RFC-4180-style quoting) into rows of cells.
+std::vector<std::vector<std::string>> parse_csv(const std::string& text);
+
+} // namespace sdrbist::campaign

@@ -1,0 +1,123 @@
+/// \file thread_pool.hpp
+/// \brief Fixed-size worker pool for embarrassingly parallel job grids.
+///
+/// The campaign subsystem fans a scenario grid out over this pool.  Jobs
+/// are pure functions of their inputs and write to disjoint result slots,
+/// so scheduling order never affects results — determinism is preserved by
+/// construction, not by serialising execution (see campaign/campaign.hpp).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "core/contracts.hpp"
+
+namespace sdrbist {
+
+/// Fixed pool of worker threads draining a shared FIFO task queue.
+class thread_pool {
+public:
+    /// \param threads  worker count; 0 selects default_thread_count().
+    explicit thread_pool(std::size_t threads = 0) {
+        if (threads == 0)
+            threads = default_thread_count();
+        workers_.reserve(threads);
+        for (std::size_t i = 0; i < threads; ++i)
+            workers_.emplace_back([this] { worker_loop(); });
+    }
+
+    thread_pool(const thread_pool&) = delete;
+    thread_pool& operator=(const thread_pool&) = delete;
+
+    ~thread_pool() {
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            stopping_ = true;
+        }
+        cv_.notify_all();
+        for (auto& w : workers_)
+            w.join();
+    }
+
+    /// Number of worker threads.
+    [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+    /// Hardware concurrency with a floor of one.
+    [[nodiscard]] static std::size_t default_thread_count() {
+        const unsigned hw = std::thread::hardware_concurrency();
+        return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+    }
+
+    /// Enqueue a nullary callable; the future carries its result (or the
+    /// exception it threw).
+    template <typename F>
+    std::future<std::invoke_result_t<std::decay_t<F>>> submit(F&& f) {
+        using result_t = std::invoke_result_t<std::decay_t<F>>;
+        auto task = std::make_shared<std::packaged_task<result_t()>>(
+            std::forward<F>(f));
+        std::future<result_t> future = task->get_future();
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            SDRBIST_EXPECTS(!stopping_);
+            queue_.emplace_back([task] { (*task)(); });
+        }
+        cv_.notify_one();
+        return future;
+    }
+
+private:
+    void worker_loop() {
+        for (;;) {
+            std::function<void()> job;
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+                if (queue_.empty())
+                    return; // stopping and drained
+                job = std::move(queue_.front());
+                queue_.pop_front();
+            }
+            job(); // packaged_task captures exceptions into the future
+        }
+    }
+
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<std::function<void()>> queue_;
+    bool stopping_ = false;
+    std::vector<std::thread> workers_;
+};
+
+/// Run body(0) ... body(n-1) on the pool and block until all complete.
+/// Rethrows the exception of the lowest-index failed iteration (every
+/// iteration still runs to completion first, so partial results in
+/// caller-owned slots stay well-defined).
+template <typename Body>
+void parallel_for_index(thread_pool& pool, std::size_t n, Body&& body) {
+    std::vector<std::future<void>> futures;
+    futures.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        futures.push_back(pool.submit([&body, i] { body(i); }));
+    std::exception_ptr first_error;
+    for (auto& f : futures) {
+        try {
+            f.get();
+        } catch (...) {
+            if (!first_error)
+                first_error = std::current_exception();
+        }
+    }
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+} // namespace sdrbist

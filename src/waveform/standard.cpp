@@ -82,9 +82,11 @@ std::vector<standard_preset> standard_catalogue() {
         g.oversample = 16;
         g.span_symbols = 10;
         g.symbol_count = 256;
+        // TETRA grades ACPR at fixed channel offsets, not at a fraction of
+        // the occupied bandwidth: pin the adjacent channel 2 MHz out.
         cat.push_back({"dqpsk-1M", g,
                        make_narrowband_mask(g.symbol_rate, g.rolloff),
-                       380.0 * MHz});
+                       380.0 * MHz, 2.0 * MHz});
     }
     return cat;
 }

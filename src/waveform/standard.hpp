@@ -21,6 +21,10 @@ struct standard_preset {
     generator_config stimulus;
     spectral_mask mask;
     double default_carrier_hz = 1e9;
+    /// Standard-mandated adjacent-channel offset for the ACPR measurement
+    /// (0 = auto, 1.5 × occupied bandwidth).  An explicit
+    /// `bist_config::acpr_offset_hz` still takes precedence.
+    double acpr_offset_hz = 0.0;
 };
 
 /// The paper's evaluation waveform: 10 MHz QPSK, SRRC alpha = 0.5, 1 GHz.

@@ -1,0 +1,182 @@
+// Structured export: deterministic JSON/CSV, round-trips through the
+// bundled parsers.
+#include <gtest/gtest.h>
+
+#include "campaign/campaign.hpp"
+#include "campaign/export.hpp"
+#include "core/contracts.hpp"
+
+namespace {
+
+using namespace sdrbist;
+using namespace sdrbist::campaign;
+
+const campaign_result& tiny_campaign_result() {
+    static const campaign_result result = [] {
+        campaign_config cfg;
+        cfg.base.tiadc.quant.full_scale = 2.0;
+        cfg.base.min_output_rms = 1.2;
+        cfg.presets = {waveform::find_preset("paper-qpsk-10M")};
+        cfg.faults = {bist::fault_kind::none,
+                      bist::fault_kind::pa_gain_drop};
+        cfg.trials = 1;
+        cfg.threads = 2;
+        cfg.seed = 0xE59027ull;
+        return campaign_runner(cfg).run();
+    }();
+    return result;
+}
+
+// ---- JSON -------------------------------------------------------------------
+
+TEST(CampaignExport, JsonRoundTripsThroughParser) {
+    const auto& result = tiny_campaign_result();
+    const auto doc = parse_json(to_json(result));
+
+    const auto& campaign = doc.at("campaign");
+    ASSERT_EQ(campaign.at("presets").size(), 1u);
+    EXPECT_EQ(campaign.at("presets").at(std::size_t{0}).as_string(),
+              "paper-qpsk-10M");
+    ASSERT_EQ(campaign.at("faults").size(), 2u);
+    EXPECT_EQ(campaign.at("faults").at(std::size_t{1}).as_string(),
+              "pa-gain-drop");
+    EXPECT_DOUBLE_EQ(campaign.at("trials").as_number(), 1.0);
+    EXPECT_EQ(campaign.at("seed").as_string(), std::to_string(result.seed));
+
+    const auto& summary = doc.at("summary");
+    EXPECT_DOUBLE_EQ(summary.at("scenarios").as_number(),
+                     static_cast<double>(result.scenario_count()));
+    EXPECT_DOUBLE_EQ(summary.at("yield").as_number(), result.yield());
+    EXPECT_DOUBLE_EQ(summary.at("coverage").as_number(), result.coverage());
+    EXPECT_DOUBLE_EQ(summary.at("wall_seconds").as_number(), result.wall_s);
+
+    const auto& matrix = doc.at("coverage_matrix");
+    ASSERT_EQ(matrix.size(), 2u);
+    EXPECT_EQ(matrix.at(std::size_t{0}).at("fault").as_string(), "none");
+    EXPECT_DOUBLE_EQ(matrix.at(std::size_t{0}).at("fail_rate").as_number(),
+                     result.cell(0, 0).fail_rate());
+    EXPECT_DOUBLE_EQ(matrix.at(std::size_t{1}).at("flagged").as_number(),
+                     static_cast<double>(result.cell(0, 1).flagged));
+
+    const auto& rows = doc.at("scenarios");
+    ASSERT_EQ(rows.size(), result.results.size());
+    for (std::size_t i = 0; i < result.results.size(); ++i) {
+        const auto& row = rows.at(i);
+        const auto& r = result.results[i];
+        EXPECT_DOUBLE_EQ(row.at("index").as_number(),
+                         static_cast<double>(r.sc.index));
+        EXPECT_EQ(row.at("seed").as_string(), std::to_string(r.sc.seed));
+        EXPECT_EQ(row.at("pass").as_bool(), !r.flagged());
+        // Shortest round-trip formatting: exact double recovery.
+        EXPECT_DOUBLE_EQ(row.at("skew_estimate_s").as_number(),
+                         r.report.skew.d_hat);
+        EXPECT_DOUBLE_EQ(row.at("evm_percent").as_number(),
+                         r.report.evm.evm_percent());
+        EXPECT_DOUBLE_EQ(row.at("mask_worst_margin_db").as_number(),
+                         r.report.mask.worst_margin_db);
+    }
+}
+
+TEST(CampaignExport, TimingFieldsCanBeSuppressed) {
+    const auto& result = tiny_campaign_result();
+    export_options opt;
+    opt.include_timing = false;
+    const auto doc = parse_json(to_json(result, opt));
+    const auto& summary = doc.at("summary").as_object();
+    EXPECT_EQ(summary.count("wall_seconds"), 0u);
+    EXPECT_EQ(summary.count("scenarios_per_second"), 0u);
+    const auto& row = doc.at("scenarios").at(std::size_t{0}).as_object();
+    EXPECT_EQ(row.count("elapsed_s"), 0u);
+    // Scenario rows can be dropped entirely for compact artefacts.
+    opt.include_scenarios = false;
+    const auto compact = parse_json(to_json(result, opt));
+    EXPECT_EQ(compact.as_object().count("scenarios"), 0u);
+}
+
+TEST(CampaignExport, TimingFreeJsonIsDeterministic) {
+    // Two executions of the same campaign config must export byte-identical
+    // timing-free artefacts (the timing fields are the only measured data).
+    campaign_config cfg;
+    cfg.base.tiadc.quant.full_scale = 2.0;
+    cfg.presets = {waveform::find_preset("paper-qpsk-10M")};
+    cfg.faults = {bist::fault_kind::none};
+    cfg.trials = 1;
+    cfg.threads = 1;
+    const auto a = campaign_runner(cfg).run();
+    const auto b = campaign_runner(cfg).run();
+    export_options opt;
+    opt.include_timing = false;
+    EXPECT_EQ(to_json(a, opt), to_json(b, opt));
+    EXPECT_EQ(coverage_csv(a), coverage_csv(b));
+    EXPECT_EQ(scenarios_csv(a, opt), scenarios_csv(b, opt));
+}
+
+// ---- CSV --------------------------------------------------------------------
+
+TEST(CampaignExport, CoverageCsvRoundTrips) {
+    const auto& result = tiny_campaign_result();
+    const auto rows = parse_csv(coverage_csv(result));
+    ASSERT_EQ(rows.size(), 1u + 2u); // header + 1 preset x 2 faults
+    const std::vector<std::string> header = {"preset", "fault", "runs",
+                                             "flagged", "fail_rate"};
+    EXPECT_EQ(rows[0], header);
+    EXPECT_EQ(rows[1][0], "paper-qpsk-10M");
+    EXPECT_EQ(rows[1][1], "none");
+    EXPECT_EQ(rows[1][2], "1");
+    EXPECT_EQ(rows[1][3], std::to_string(result.cell(0, 0).flagged));
+    EXPECT_EQ(rows[2][1], "pa-gain-drop");
+    EXPECT_DOUBLE_EQ(std::stod(rows[2][4]), result.cell(0, 1).fail_rate());
+}
+
+TEST(CampaignExport, ScenariosCsvRoundTrips) {
+    const auto& result = tiny_campaign_result();
+    const auto rows = parse_csv(scenarios_csv(result));
+    ASSERT_EQ(rows.size(), 1u + result.results.size());
+    ASSERT_EQ(rows[0].size(), 12u); // includes elapsed_s by default
+    for (std::size_t i = 0; i < result.results.size(); ++i) {
+        const auto& cells = rows[i + 1];
+        EXPECT_EQ(cells[0], std::to_string(i));
+        EXPECT_EQ(cells[4], std::to_string(result.results[i].sc.seed));
+        EXPECT_EQ(cells[5], result.results[i].flagged() ? "0" : "1");
+        EXPECT_DOUBLE_EQ(std::stod(cells[9]),
+                         result.results[i].report.skew.d_hat);
+    }
+}
+
+TEST(CampaignExport, CoverageTableRendersGrid) {
+    const auto& result = tiny_campaign_result();
+    const auto table = coverage_table(result);
+    EXPECT_EQ(table.columns(), 1u + result.fault_names.size());
+    EXPECT_EQ(table.rows(), result.preset_names.size());
+}
+
+// ---- parser hardening -------------------------------------------------------
+
+TEST(JsonParser, ParsesScalarsAndNesting) {
+    const auto doc = parse_json(
+        R"({"a": [1, -2.5e3, true, false, null], "s": "x\"\\\nA"})");
+    EXPECT_DOUBLE_EQ(doc.at("a").at(std::size_t{0}).as_number(), 1.0);
+    EXPECT_DOUBLE_EQ(doc.at("a").at(std::size_t{1}).as_number(), -2500.0);
+    EXPECT_TRUE(doc.at("a").at(std::size_t{2}).as_bool());
+    EXPECT_FALSE(doc.at("a").at(std::size_t{3}).as_bool());
+    EXPECT_TRUE(doc.at("a").at(std::size_t{4}).is_null());
+    EXPECT_EQ(doc.at("s").as_string(), "x\"\\\nA");
+}
+
+TEST(JsonParser, RejectsMalformedInput) {
+    EXPECT_THROW(parse_json("{"), contract_violation);
+    EXPECT_THROW(parse_json("[1,]"), contract_violation);
+    EXPECT_THROW(parse_json("{\"a\" 1}"), contract_violation);
+    EXPECT_THROW(parse_json("\"unterminated"), contract_violation);
+    EXPECT_THROW(parse_json("12 34"), contract_violation);
+    EXPECT_THROW(parse_json("nope"), contract_violation);
+}
+
+TEST(CsvParser, HandlesQuotingAndEmptyCells) {
+    const auto rows = parse_csv("a,\"b,1\",\"say \"\"hi\"\"\"\nc,,d\n");
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b,1", "say \"hi\""}));
+    EXPECT_EQ(rows[1], (std::vector<std::string>{"c", "", "d"}));
+}
+
+} // namespace

@@ -1,0 +1,86 @@
+// Worker-pool semantics: completion, results, exception propagation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+
+namespace {
+
+using namespace sdrbist;
+
+TEST(ThreadPool, DefaultThreadCountIsPositive) {
+    EXPECT_GE(thread_pool::default_thread_count(), 1u);
+    thread_pool pool;
+    EXPECT_EQ(pool.size(), thread_pool::default_thread_count());
+    thread_pool four(4);
+    EXPECT_EQ(four.size(), 4u);
+}
+
+TEST(ThreadPool, SubmitReturnsResultThroughFuture) {
+    thread_pool pool(2);
+    auto f = pool.submit([] { return 6 * 7; });
+    EXPECT_EQ(f.get(), 42);
+    auto g = pool.submit([] { return std::string("done"); });
+    EXPECT_EQ(g.get(), "done");
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptions) {
+    thread_pool pool(2);
+    auto f = pool.submit(
+        []() -> int { throw std::runtime_error("boom"); });
+    EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForRunsEveryIndexExactlyOnce) {
+    thread_pool pool(4);
+    constexpr std::size_t n = 500;
+    std::vector<std::atomic<int>> hits(n);
+    parallel_for_index(pool, n, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, ParallelForWritesDisjointSlots) {
+    thread_pool pool(3);
+    constexpr std::size_t n = 256;
+    std::vector<double> out(n, -1.0);
+    parallel_for_index(pool, n, [&](std::size_t i) {
+        out[i] = static_cast<double>(i) * 0.5;
+    });
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_DOUBLE_EQ(out[i], static_cast<double>(i) * 0.5);
+}
+
+TEST(ThreadPool, ParallelForRethrowsLowestIndexFailure) {
+    thread_pool pool(4);
+    std::atomic<int> completed{0};
+    try {
+        parallel_for_index(pool, 64, [&](std::size_t i) {
+            if (i == 7 || i == 3 || i == 50)
+                throw std::runtime_error("failed at " + std::to_string(i));
+            ++completed;
+        });
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "failed at 3");
+    }
+    // Every non-throwing iteration still ran (no early abandonment).
+    EXPECT_EQ(completed.load(), 61);
+}
+
+TEST(ThreadPool, SingleThreadPoolStillCompletes) {
+    thread_pool pool(1);
+    std::vector<int> order;
+    parallel_for_index(pool, 16,
+                       [&](std::size_t i) { order.push_back(static_cast<int>(i)); });
+    // One worker drains the FIFO queue in submission order.
+    std::vector<int> expected(16);
+    std::iota(expected.begin(), expected.end(), 0);
+    EXPECT_EQ(order, expected);
+}
+
+} // namespace
