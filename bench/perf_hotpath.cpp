@@ -1,0 +1,184 @@
+// Hot-path kernel engine bench: the two inner loops every campaign
+// scenario traverses thousands of times, timed fast-path vs reference.
+//
+//  * PNBS uniform() reconstruction — the fused Kohlenberg evaluation
+//    (rotation recurrences + window LUT) against the per-tap
+//    transcendental reference (paper eq. (6)).
+//  * Windowed-sinc interpolated capture — the polyphase-LUT interpolator
+//    behind every BP-TIADC capture against the two-Bessel-series-per-tap
+//    reference.
+//
+// Emits one BENCH_JSON line per kernel with ns/point for both paths, the
+// speedup, and the max relative error of the fast path (normalised to the
+// reference RMS).  Run with --quick for CI smoke timing.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <complex>
+#include <cstring>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/random.hpp"
+#include "core/stats.hpp"
+#include "core/units.hpp"
+#include "dsp/interpolator.hpp"
+#include "rf/passband.hpp"
+#include "sampling/band.hpp"
+#include "sampling/pnbs.hpp"
+
+namespace {
+
+using namespace sdrbist;
+
+/// Best-of-`reps` wall time of fn(), in seconds.
+template <class F> double best_seconds(F&& fn, int reps) {
+    double best = 1e300;
+    for (int r = 0; r < reps; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        fn();
+        const auto t1 = std::chrono::steady_clock::now();
+        best = std::min(best,
+                        std::chrono::duration<double>(t1 - t0).count());
+    }
+    return best;
+}
+
+double max_rel_error(const std::vector<double>& ref,
+                     const std::vector<double>& fast) {
+    const double scale = rms(ref);
+    double worst = 0.0;
+    for (std::size_t i = 0; i < ref.size(); ++i)
+        worst = std::max(worst, std::abs(fast[i] - ref[i]));
+    return worst / scale;
+}
+
+void bench_pnbs_uniform(std::size_t n_points, int reps) {
+    const sampling::band_spec band =
+        sampling::band_around(1.0 * GHz, 90.0 * MHz);
+    const double period = 1.0 / band.bandwidth();
+    const double d = 180.0 * ps;
+    const std::size_t n = 600;
+
+    rng gen(0xB157);
+    std::vector<rf::tone> tones;
+    for (int i = 0; i < 5; ++i)
+        tones.push_back({gen.uniform(band.f_lo + 8.0 * MHz,
+                                     band.f_hi - 8.0 * MHz),
+                         gen.uniform(0.2, 1.0), gen.uniform(0.0, two_pi)});
+    const rf::multitone_signal sig(std::move(tones),
+                                   static_cast<double>(n) * period + 1.0 * us);
+
+    std::vector<double> even(n), odd(n);
+    for (std::size_t k = 0; k < n; ++k) {
+        even[k] = sig.value(static_cast<double>(k) * period);
+        odd[k] = sig.value(static_cast<double>(k) * period + d);
+    }
+    const sampling::pnbs_reconstructor recon(even, odd, period, 0.0, band, d,
+                                             {61, 8.0});
+
+    // Dense grid spanning the whole valid reconstruction interval.
+    const double t_lo = recon.valid_begin();
+    const double rate =
+        static_cast<double>(n_points) / (recon.valid_end() - t_lo);
+
+    std::vector<double> fast, ref;
+    const double s_fast = best_seconds(
+        [&] { fast = recon.uniform(t_lo, rate, n_points); }, reps);
+    const double s_ref = best_seconds(
+        [&] { ref = recon.uniform_reference(t_lo, rate, n_points); }, reps);
+
+    const double err = max_rel_error(ref, fast);
+    benchutil::json_record rec;
+    rec.add("kernel", std::string("pnbs_uniform"));
+    rec.add("points", n_points);
+    rec.add("taps", std::size_t{61});
+    rec.add("ref_ns_per_point", 1e9 * s_ref / static_cast<double>(n_points));
+    rec.add("fast_ns_per_point",
+            1e9 * s_fast / static_cast<double>(n_points));
+    rec.add("speedup", s_ref / s_fast);
+    rec.add("max_rel_error", err);
+    benchutil::emit_bench_json("perf_hotpath", rec);
+
+    std::cout << "pnbs uniform: " << 1e9 * s_ref / n_points << " -> "
+              << 1e9 * s_fast / n_points << " ns/point  (x"
+              << s_ref / s_fast << ", max rel err " << err << ")\n";
+}
+
+void bench_sinc_capture(std::size_t n_points, int reps) {
+    // Capture-path setup: complex envelope at 180 MHz feeding a 1 GHz
+    // carrier, probed at jittered nonuniform instants like a BP-TIADC
+    // record.
+    const double env_rate = 180.0 * MHz;
+    const std::size_t n_env = 4096;
+    rng gen(0xCAB7);
+    std::vector<std::complex<double>> env(n_env);
+    // Smooth in-band envelope: random phasor sum at a few offsets.
+    for (std::size_t i = 0; i < n_env; ++i) {
+        const double tt = static_cast<double>(i) / env_rate;
+        env[i] = std::polar(1.0, two_pi * 11.0 * MHz * tt + 0.4) +
+                 std::polar(0.6, -two_pi * 23.0 * MHz * tt + 1.1);
+    }
+    const dsp::complex_interpolator interp(std::move(env), env_rate, 32,
+                                           10.0);
+
+    const double t_lo = interp.valid_begin();
+    const double t_hi = interp.valid_end();
+    std::vector<double> t(n_points);
+    const double channel_period = (t_hi - t_lo) / static_cast<double>(n_points + 1);
+    for (std::size_t k = 0; k < n_points; ++k)
+        t[k] = t_lo + static_cast<double>(k) * channel_period +
+               gen.gaussian(0.0, 3.0 * ps);
+
+    std::vector<std::complex<double>> fast, ref;
+    const double s_fast =
+        best_seconds([&] { fast = interp.at(t); }, reps);
+    const double s_ref = best_seconds(
+        [&] {
+            ref.resize(t.size());
+            for (std::size_t i = 0; i < t.size(); ++i)
+                ref[i] = interp.at_reference(t[i]);
+        },
+        reps);
+
+    // Relative error on the real capture samples (Re/Im both bounded).
+    double scale = 0.0;
+    double worst = 0.0;
+    for (const auto& v : ref)
+        scale += std::norm(v);
+    scale = std::sqrt(scale / static_cast<double>(ref.size()));
+    for (std::size_t i = 0; i < ref.size(); ++i)
+        worst = std::max(worst, std::abs(fast[i] - ref[i]));
+    const double err = worst / scale;
+
+    benchutil::json_record rec;
+    rec.add("kernel", std::string("sinc_capture"));
+    rec.add("points", n_points);
+    rec.add("half_taps", std::size_t{32});
+    rec.add("ref_ns_per_point", 1e9 * s_ref / static_cast<double>(n_points));
+    rec.add("fast_ns_per_point",
+            1e9 * s_fast / static_cast<double>(n_points));
+    rec.add("speedup", s_ref / s_fast);
+    rec.add("max_rel_error", err);
+    benchutil::emit_bench_json("perf_hotpath", rec);
+
+    std::cout << "sinc capture: " << 1e9 * s_ref / n_points << " -> "
+              << 1e9 * s_fast / n_points << " ns/point  (x"
+              << s_ref / s_fast << ", max rel err " << err << ")\n";
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    bool quick = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+
+    const std::size_t n_points = quick ? 2000 : 8000;
+    const int reps = quick ? 3 : 5;
+    bench_pnbs_uniform(n_points, reps);
+    bench_sinc_capture(n_points, reps);
+    return 0;
+}

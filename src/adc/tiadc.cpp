@@ -40,11 +40,14 @@ ranging_result bp_tiadc::auto_range(const rf::passband_signal& x,
     SDRBIST_EXPECTS(headroom > 0.0 && headroom < 1.0);
     // Coarse asynchronous peak scan: sample faster than the channel rate to
     // catch envelope peaks (8 points per channel period, offset-free).
+    // One batch request so the signal's whole-record path is used.
     const double dt = 1.0 / (8.0 * config_.channel_rate_hz);
+    std::vector<double> t(8 * n);
+    for (std::size_t k = 0; k < t.size(); ++k)
+        t[k] = t_start + static_cast<double>(k) * dt;
     double peak = 0.0;
-    for (std::size_t k = 0; k < 8 * n; ++k)
-        peak = std::max(peak,
-                        std::abs(x.value(t_start + static_cast<double>(k) * dt)));
+    for (double v : x.values(t))
+        peak = std::max(peak, std::abs(v));
     SDRBIST_EXPECTS(peak > 0.0);
 
     ranging_result r;
@@ -87,11 +90,15 @@ bp_tiadc::capture_divided(const rf::passband_signal& x, double t_start,
     cap.period_s = period;
     cap.t_start = t_start;
     cap.true_delay_s = d_true;
+    // Whole-record batch evaluation: one signal request per channel
+    // instead of one virtual call per instant.
+    const auto x0 = x.values(t0);
+    const auto x1 = x.values(t1);
     cap.even.resize(n);
     cap.odd.resize(n);
     for (std::size_t k = 0; k < n; ++k) {
-        cap.even[k] = quant0_.quantize(input_scale_ * x.value(t0[k]));
-        cap.odd[k] = quant1_.quantize(input_scale_ * x.value(t1[k]));
+        cap.even[k] = quant0_.quantize(input_scale_ * x0[k]);
+        cap.odd[k] = quant1_.quantize(input_scale_ * x1[k]);
     }
     return cap;
 }

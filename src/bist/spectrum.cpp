@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/contracts.hpp"
+#include "core/units.hpp"
 #include "dsp/ddc.hpp"
 
 namespace sdrbist::bist {
@@ -48,7 +49,7 @@ reconstruct_envelope(const sampling::pnbs_reconstructor& recon,
 
     // The DDC mixes with phase 0 at its first sample; re-reference the
     // envelope phase to absolute time so e(t)·e^{j2π·f_mix·t} = x(t).
-    const double phi0 = 2.0 * 3.141592653589793238462643 * mix_f * t_lo;
+    const double phi0 = two_pi * mix_f * t_lo;
     const std::complex<double> rot = std::polar(1.0, -phi0);
     for (auto& v : out.samples)
         v *= rot;

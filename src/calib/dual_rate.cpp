@@ -275,9 +275,13 @@ double skew_cost(const dual_rate_capture& capture, double delay_hypothesis,
         capture.slow.even, capture.slow.odd, capture.slow.period_s,
         capture.slow.t_start, capture.band_slow, delay_hypothesis, opt);
 
+    // Batch evaluation of both reconstructions over the probe set (the
+    // LMS inner loop — this runs once per cost evaluation per scenario).
+    const auto v_fast = fast.values(probe_times);
+    const auto v_slow = slow.values(probe_times);
     double acc = 0.0;
-    for (double t : probe_times) {
-        const double d = fast.value(t) - slow.value(t);
+    for (std::size_t i = 0; i < probe_times.size(); ++i) {
+        const double d = v_fast[i] - v_slow[i];
         acc += d * d;
     }
     return acc / static_cast<double>(probe_times.size());

@@ -37,6 +37,23 @@ inline double bessel_i0(double x) {
     return sum;
 }
 
+/// Bessel function of the first kind, order zero (alternating series).
+/// Accurate to double precision for |x| <= ~15 (cancellation grows beyond);
+/// callers here only need small arguments.  Hand-rolled because libc++
+/// does not ship the C++17 special math functions (std::cyl_bessel_j).
+inline double bessel_j0(double x) {
+    const double half = x / 2.0;
+    double term = 1.0;
+    double sum = 1.0;
+    for (int k = 1; k < 1000; ++k) {
+        term *= -(half / k) * (half / k);
+        sum += term;
+        if (std::abs(term) < std::abs(sum) * std::numeric_limits<double>::epsilon())
+            break;
+    }
+    return sum;
+}
+
 /// True when |a - b| <= atol + rtol·|b|.
 inline bool approx_equal(double a, double b, double rtol = 1e-9,
                          double atol = 0.0) {

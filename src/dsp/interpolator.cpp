@@ -1,5 +1,6 @@
 #include "dsp/interpolator.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "core/math_util.hpp"
@@ -9,16 +10,107 @@ namespace sdrbist::dsp {
 
 template <class T>
 sinc_interpolator<T>::sinc_interpolator(std::vector<T> samples, double rate,
-                                        std::size_t half_taps, double beta)
+                                        std::size_t half_taps, double beta,
+                                        std::size_t phase_steps)
     : samples_(std::move(samples)), rate_(rate), half_taps_(half_taps),
-      beta_(beta) {
+      beta_(beta), phase_steps_(phase_steps) {
     SDRBIST_EXPECTS(rate_ > 0.0);
     SDRBIST_EXPECTS(half_taps_ >= 4);
     SDRBIST_EXPECTS(samples_.size() > 2 * half_taps_);
     SDRBIST_EXPECTS(beta_ >= 0.0);
+    SDRBIST_EXPECTS(phase_steps_ >= 64);
+    build_lut();
 }
 
-template <class T> T sinc_interpolator<T>::at(double t) const {
+template <class T> void sinc_interpolator<T>::build_lut() {
+    const std::size_t stride = 2 * half_taps_;
+    const std::size_t rows = phase_steps_ + 3;
+    lut_.resize(rows * stride);
+
+    const double inv_half = 1.0 / static_cast<double>(half_taps_);
+    const double inv_i0b = 1.0 / bessel_i0(beta_);
+    // Pad-row cells fall (just) outside the window support; tabulating the
+    // window's smooth analytic continuation there — I0(β√(1-u²)) becomes
+    // J0(β√(u²-1)) for |u| > 1 — keeps the tabulated function C^∞ through
+    // the support edge, so the cubic phase blend keeps its full order.
+    // Points inside the support never read a continued value directly.
+    auto window = [&](double u) {
+        u = std::abs(u);
+        if (u > 1.0)
+            return bessel_j0(beta_ * std::sqrt(u * u - 1.0)) * inv_i0b;
+        return bessel_i0(beta_ * std::sqrt(1.0 - u * u)) * inv_i0b;
+    };
+
+    // The coefficient g(frac, c) = sinc(d)·w(d/half) with
+    // d = frac - (c - half + 1) obeys g(1 - frac, c) = g(frac, stride-1-c),
+    // so only the lower half of the phase range needs transcendentals.
+    const auto half = static_cast<long>(half_taps_);
+    for (std::size_t r = 0; r < rows; ++r) {
+        const double frac = (static_cast<double>(r) - 1.0) /
+                            static_cast<double>(phase_steps_);
+        double* row = lut_.data() + r * stride;
+        const std::size_t r_mirror = phase_steps_ + 2 - r;
+        if (r > r_mirror && r_mirror < rows) {
+            const double* src = lut_.data() + r_mirror * stride;
+            for (std::size_t c = 0; c < stride; ++c)
+                row[c] = src[stride - 1 - c];
+            continue;
+        }
+        for (std::size_t c = 0; c < stride; ++c) {
+            const double d =
+                frac - static_cast<double>(static_cast<long>(c) - half + 1);
+            row[c] = sinc(d) * window(d * inv_half);
+        }
+    }
+}
+
+template <class T> T sinc_interpolator<T>::eval(double pos) const {
+    const double fpos = std::floor(pos);
+    const auto centre = static_cast<long>(fpos);
+    const double frac = pos - fpos;
+    const auto half = static_cast<long>(half_taps_);
+    const auto n_samples = static_cast<long>(samples_.size());
+
+    // Cubic Lagrange blend of the four phase rows bracketing `frac`
+    // (nodes at -1, 0, 1, 2 in units of the phase step).
+    const double x = frac * static_cast<double>(phase_steps_);
+    auto p = static_cast<std::size_t>(x);
+    if (p > phase_steps_ - 1)
+        p = phase_steps_ - 1;
+    const double u = x - static_cast<double>(p);
+    const double um = u - 1.0;
+    const double um2 = u - 2.0;
+    const double up = u + 1.0;
+    const double w0 = -u * um * um2 * (1.0 / 6.0);
+    const double w1 = up * um * um2 * 0.5;
+    const double w2 = -up * u * um2 * 0.5;
+    const double w3 = up * u * um * (1.0 / 6.0);
+
+    const std::size_t stride = 2 * half_taps_;
+    const double* r0 = lut_.data() + p * stride;
+    const double* r1 = r0 + stride;
+    const double* r2 = r1 + stride;
+    const double* r3 = r2 + stride;
+
+    // Range checks hoisted out of the tap loop: clamp once, then run a
+    // branch-free contiguous accumulation (the interior case covers the
+    // full 2·half_taps window).
+    const long lo = centre - half + 1;
+    const long n0 = std::max(lo, 0L);
+    const long n1 = std::min(centre + half, n_samples - 1);
+
+    T acc{};
+    const T* xs = samples_.data();
+    for (long n = n0; n <= n1; ++n) {
+        const auto c = static_cast<std::size_t>(n - lo);
+        const double coeff =
+            w0 * r0[c] + w1 * r1[c] + w2 * r2[c] + w3 * r3[c];
+        acc += xs[n] * coeff;
+    }
+    return acc;
+}
+
+template <class T> T sinc_interpolator<T>::at_reference(double t) const {
     const double pos = t * rate_; // fractional sample index
     const auto centre = static_cast<long>(std::floor(pos));
     const auto n_samples = static_cast<long>(samples_.size());
@@ -42,7 +134,18 @@ template <class T>
 std::vector<T> sinc_interpolator<T>::at(const std::vector<double>& t) const {
     std::vector<T> out(t.size());
     for (std::size_t i = 0; i < t.size(); ++i)
-        out[i] = at(t[i]);
+        out[i] = eval(t[i] * rate_);
+    return out;
+}
+
+template <class T>
+std::vector<T> sinc_interpolator<T>::uniform_grid(double t0, double rate_out,
+                                                  std::size_t n) const {
+    SDRBIST_EXPECTS(rate_out > 0.0);
+    std::vector<T> out(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] =
+            eval((t0 + static_cast<double>(i) / rate_out) * rate_);
     return out;
 }
 

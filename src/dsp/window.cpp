@@ -68,6 +68,19 @@ double kaiser_window_at(double u, double beta) {
     return bessel_i0(beta * std::sqrt(1.0 - u * u)) / bessel_i0(beta);
 }
 
+kaiser_lut::kaiser_lut(double beta, std::size_t resolution) : beta_(beta) {
+    SDRBIST_EXPECTS(beta >= 0.0);
+    SDRBIST_EXPECTS(resolution >= 16);
+    lut_.resize(resolution + 1);
+    // Hoist the constant denominator series out of the per-sample loop.
+    const double inv_i0b = 1.0 / bessel_i0(beta);
+    for (std::size_t i = 0; i <= resolution; ++i) {
+        const double u = static_cast<double>(i) / static_cast<double>(resolution);
+        lut_[i] = bessel_i0(beta * std::sqrt(std::max(0.0, 1.0 - u * u))) *
+                  inv_i0b;
+    }
+}
+
 double window_sum(const std::vector<double>& w) {
     double s = 0.0;
     for (double v : w)

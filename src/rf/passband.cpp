@@ -32,6 +32,17 @@ double envelope_passband::value(double t) const {
     return e.real() * std::cos(wt) - e.imag() * std::sin(wt);
 }
 
+std::vector<double>
+envelope_passband::values(const std::vector<double>& t) const {
+    const auto env = interp_.at(t); // batch LUT interpolation
+    std::vector<double> out(t.size());
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        const double wt = two_pi * carrier_hz_ * t[i];
+        out[i] = env[i].real() * std::cos(wt) - env[i].imag() * std::sin(wt);
+    }
+    return out;
+}
+
 double envelope_passband::begin_time() const { return interp_.valid_begin(); }
 
 double envelope_passband::end_time() const { return interp_.valid_end(); }

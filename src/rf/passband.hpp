@@ -32,8 +32,10 @@ public:
     /// Last such instant.
     [[nodiscard]] virtual double end_time() const = 0;
 
-    /// Batch evaluation.
-    [[nodiscard]] std::vector<double>
+    /// Batch evaluation: one virtual dispatch per record instead of one
+    /// per instant.  Implementations override this to amortise their
+    /// per-call setup; the default loops over value().
+    [[nodiscard]] virtual std::vector<double>
     values(const std::vector<double>& t) const;
 };
 
@@ -52,6 +54,11 @@ public:
     [[nodiscard]] double value(double t) const override;
     [[nodiscard]] double begin_time() const override;
     [[nodiscard]] double end_time() const override;
+
+    /// Batch capture path: interpolates the whole envelope record through
+    /// the polyphase LUT before applying the carrier.
+    [[nodiscard]] std::vector<double>
+    values(const std::vector<double>& t) const override;
 
     /// Complex envelope at arbitrary t (used by reference computations).
     [[nodiscard]] std::complex<double> envelope_at(double t) const;

@@ -60,6 +60,11 @@ void hw_pnbs_reconstructor::build_tables() {
     const std::size_t rows = opt_.phase_steps + 1;
     const std::size_t cols = opt_.taps;
 
+    // Shared continuous-window LUT (same table the software reconstructor
+    // evaluates through), so both reconstructors see identical window
+    // values and the Bessel series runs once per LUT node, not per cell.
+    const dsp::kaiser_lut window(opt_.kaiser_beta);
+
     auto alloc = [&] {
         return std::vector<std::vector<double>>(rows,
                                                 std::vector<double>(cols));
@@ -83,19 +88,17 @@ void hw_pnbs_reconstructor::build_tables() {
 
             // Even stream: kernel argument tau = (frac - j)·T.
             const double tau = (frac - static_cast<double>(j)) * period_;
-            const double w_even = dsp::kaiser_window_at(
-                (frac - static_cast<double>(j)) / half_span,
-                opt_.kaiser_beta);
+            const double w_even =
+                window((frac - static_cast<double>(j)) / half_span);
             env0_even_[p][col] = sj_k * g0 * sinc(f0 * tau) * w_even;
             env1_even_[p][col] = sj_kp * g1 * sinc(f1 * tau) * w_even;
 
             // Odd stream: argument (j - frac)·T + D.
             const double tau_o =
                 (static_cast<double>(j) - frac) * period_ + delay_;
-            const double w_odd = dsp::kaiser_window_at(
-                (frac - static_cast<double>(j) - delay_ / period_) /
-                    half_span,
-                opt_.kaiser_beta);
+            const double w_odd =
+                window((frac - static_cast<double>(j) - delay_ / period_) /
+                       half_span);
             env0_odd_[p][col] = sj_k * g0 * sinc(f0 * tau_o) * w_odd;
             env1_odd_[p][col] = sj_kp * g1 * sinc(f1 * tau_o) * w_odd;
         }

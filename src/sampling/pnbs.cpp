@@ -85,9 +85,12 @@ kohlenberg_kernel::forbidden_delays(const band_spec& band, double max_delay) {
     const bool s0_vanishes = std::abs(k * b - 2.0 * band.f_lo) < 1e-12 * b;
 
     std::vector<double> out;
+    // Each delay is computed as n·step (not by accumulating `+= step`,
+    // which drifts by n·ulp over many multiples).
     auto add_multiples = [&](double step) {
-        for (double d = step; d <= max_delay * (1.0 + 1e-12); d += step)
-            out.push_back(d);
+        const double limit = max_delay * (1.0 + 1e-12);
+        for (long n = 1; static_cast<double>(n) * step <= limit; ++n)
+            out.push_back(static_cast<double>(n) * step);
     };
     if (!s0_vanishes)
         add_multiples(t / static_cast<double>(k));
@@ -130,7 +133,8 @@ pnbs_reconstructor::pnbs_reconstructor(std::vector<double> even,
                                        double delay_hypothesis,
                                        const pnbs_options& opt)
     : even_(std::move(even)), odd_(std::move(odd)), period_(period),
-      t_start_(t_start), kernel_(band, delay_hypothesis), opt_(opt) {
+      t_start_(t_start), kernel_(band, delay_hypothesis), opt_(opt),
+      window_(opt.kaiser_beta) {
     SDRBIST_EXPECTS(period_ > 0.0);
     SDRBIST_EXPECTS(even_.size() == odd_.size());
     SDRBIST_EXPECTS(opt_.taps >= 5 && opt_.taps % 2 == 1);
@@ -138,26 +142,163 @@ pnbs_reconstructor::pnbs_reconstructor(std::vector<double> even,
     // The kernel assumes T = 1/B; the caller's period must match the band.
     SDRBIST_EXPECTS(approx_equal(period_ * band.bandwidth(), 1.0, 1e-9));
 
-    // Kaiser LUT over u in [0, 1] (symmetric window, linear interpolation).
-    constexpr std::size_t lut_size = 2048;
-    window_lut_.resize(lut_size + 1);
-    for (std::size_t i = 0; i <= lut_size; ++i)
-        window_lut_[i] = dsp::kaiser_window_at(
-            static_cast<double>(i) / static_cast<double>(lut_size),
-            opt_.kaiser_beta);
-}
-
-double pnbs_reconstructor::window_at(double u) const {
-    u = std::abs(u);
-    if (u >= 1.0)
-        return 0.0;
-    const double pos = u * static_cast<double>(window_lut_.size() - 1);
-    const auto i = static_cast<std::size_t>(pos);
-    const double frac = pos - static_cast<double>(i);
-    return window_lut_[i] + frac * (window_lut_[i + 1] - window_lut_[i]);
+    // Fused fast-path constants: the kernel's product form
+    //   s0(τ) = -sin(a0·τ - φ)·c0·sinc(f0·τ)/sin φ
+    // evaluated at τ = (frac - j)·T (even stream) and (j - frac)·T + D̂
+    // (odd stream) splits into per-call sines, per-tap sign flips
+    // (-1)^{k·j}, and per-tap sinc terms whose phases advance by ±π·f·T
+    // per tap — a rotation recurrence.
+    half_ = static_cast<long>(opt_.taps / 2);
+    half_span_ = static_cast<double>(half_) + 1.0;
+    const double d_hat = kernel_.delay();
+    d_frac_ = d_hat / period_;
+    g0_ = kernel_.s0_vanishes() ? 0.0 : kernel_.c0() / kernel_.sin_phi();
+    g1_ = kernel_.c1() / kernel_.sin_psi();
+    del0_ = pi * kernel_.f0() * period_;
+    del1_ = pi * kernel_.f1() * period_;
+    eps0_ = pi * kernel_.f0() * d_hat;
+    eps1_ = pi * kernel_.f1() * d_hat;
+    cd0_ = std::cos(del0_);
+    sd0_ = std::sin(del0_);
+    cd1_ = std::cos(del1_);
+    sd1_ = std::sin(del1_);
 }
 
 double pnbs_reconstructor::value(double t) const {
+    const double tr = t - t_start_;
+    const double pos = tr / period_;
+    const auto centre = static_cast<long>(std::llround(pos));
+    const double frac = pos - static_cast<double>(centre); // in [-0.5, 0.5]
+    const auto n_max = static_cast<long>(even_.size()) - 1;
+
+    // Tap offsets j = n - centre, clamped to the records once so the tap
+    // loops below run branch-free over contiguous memory.
+    const long j_lo = std::max(centre - half_, 0L) - centre;
+    const long j_hi = std::min(centre + half_, n_max) - centre;
+    if (j_lo > j_hi)
+        return 0.0;
+    const auto count = static_cast<std::size_t>(j_hi - j_lo + 1);
+
+    const bool s0_zero = kernel_.s0_vanishes();
+    const double kd = static_cast<double>(kernel_.k());
+    const double kpd = kd + 1.0;
+
+    // Per-call NCO factors: sin(a·τ - φ) at every tap differs from these
+    // only by the (-1)^{k·j} flip, so four sines serve the whole window.
+    const double thk = pi * kd * frac;
+    const double thp = pi * kpd * frac;
+    const double s0e = s0_zero ? 0.0 : -std::sin(thk - kernel_.phi()) * g0_;
+    const double s1e = -std::sin(thp - kernel_.psi()) * g1_;
+    const double s0o = s0_zero ? 0.0 : std::sin(thk) * g0_;
+    const double s1o = std::sin(thp) * g1_;
+
+    // Rotation-recurrence state for the four sinc numerators.  The even
+    // phases decrease by del as j increases; the odd phases increase.
+    const double fj0 = frac - static_cast<double>(j_lo);
+    double sn0e = std::sin(del0_ * fj0);
+    double cs0e = std::cos(del0_ * fj0);
+    double sn1e = std::sin(del1_ * fj0);
+    double cs1e = std::cos(del1_ * fj0);
+    double sn0o = std::sin(eps0_ - del0_ * fj0);
+    double cs0o = std::cos(eps0_ - del0_ * fj0);
+    double sn1o = std::sin(eps1_ - del1_ * fj0);
+    double cs1o = std::cos(eps1_ - del1_ * fj0);
+
+    const bool k_odd = (kernel_.k() & 1L) != 0;
+    const bool kp_odd = !k_odd;
+    double sk = (k_odd && (j_lo & 1L) != 0) ? -1.0 : 1.0;
+    double skp = (kp_odd && (j_lo & 1L) != 0) ? -1.0 : 1.0;
+    const double sk_step = k_odd ? -1.0 : 1.0;
+    const double skp_step = kp_odd ? -1.0 : 1.0;
+
+    // Stage 1: fill the per-tap coefficient arrays (serial recurrences).
+    static thread_local std::vector<double> ce_buf, co_buf;
+    ce_buf.resize(count);
+    co_buf.resize(count);
+    double* ce = ce_buf.data();
+    double* co = co_buf.data();
+
+    const double inv_span = 1.0 / half_span_;
+    for (std::size_t i = 0; i < count; ++i) {
+        const double fj =
+            frac - static_cast<double>(j_lo + static_cast<long>(i));
+        const double w_e = window_(fj * inv_span);
+        const double w_o = window_((fj - d_frac_) * inv_span);
+
+        const double th0e = del0_ * fj;        // π·f0·τ_even
+        const double th1e = del1_ * fj;
+        const double th0o = eps0_ - th0e;      // π·f0·τ_odd
+        const double th1o = eps1_ - th1e;
+        const double snc0e = s0_zero ? 0.0 : sn0e / th0e;
+        const double snc1e = sn1e / th1e;
+        const double snc0o = s0_zero ? 0.0 : sn0o / th0o;
+        const double snc1o = sn1o / th1o;
+
+        ce[i] = w_e * (s0e * sk * snc0e + s1e * skp * snc1e);
+        co[i] = w_o * (s0o * sk * snc0o + s1o * skp * snc1o);
+
+        // Advance the four rotations by one tap.
+        const double t0e = sn0e * cd0_ - cs0e * sd0_;
+        cs0e = cs0e * cd0_ + sn0e * sd0_;
+        sn0e = t0e;
+        const double t1e = sn1e * cd1_ - cs1e * sd1_;
+        cs1e = cs1e * cd1_ + sn1e * sd1_;
+        sn1e = t1e;
+        const double t0o = sn0o * cd0_ + cs0o * sd0_;
+        cs0o = cs0o * cd0_ - sn0o * sd0_;
+        sn0o = t0o;
+        const double t1o = sn1o * cd1_ + cs1o * sd1_;
+        cs1o = cs1o * cd1_ - sn1o * sd1_;
+        sn1o = t1o;
+
+        sk *= sk_step;
+        skp *= skp_step;
+    }
+
+    // Stage 2 prep: the sinc quotients above are ill-conditioned where the
+    // kernel argument crosses zero (at most one tap per stream); patch
+    // those taps with the exact library sinc.
+    const double d_hat = kernel_.delay();
+    {
+        const long j_e = std::llround(frac); // even-stream zero crossing
+        if (j_e >= j_lo && j_e <= j_hi) {
+            const auto i = static_cast<std::size_t>(j_e - j_lo);
+            const double fj = frac - static_cast<double>(j_e);
+            const double tau = fj * period_;
+            const double sgn_k = (k_odd && (j_e & 1L) != 0) ? -1.0 : 1.0;
+            const double sgn_kp = (kp_odd && (j_e & 1L) != 0) ? -1.0 : 1.0;
+            const double snc0 = s0_zero ? 0.0 : sinc(kernel_.f0() * tau);
+            const double snc1 = sinc(kernel_.f1() * tau);
+            ce[i] = window_(fj * inv_span) *
+                    (s0e * sgn_k * snc0 + s1e * sgn_kp * snc1);
+        }
+        const long j_o = std::llround(frac - d_frac_); // odd-stream crossing
+        if (j_o >= j_lo && j_o <= j_hi) {
+            const auto i = static_cast<std::size_t>(j_o - j_lo);
+            const double fj = frac - static_cast<double>(j_o);
+            const double tau = d_hat - fj * period_;
+            const double sgn_k = (k_odd && (j_o & 1L) != 0) ? -1.0 : 1.0;
+            const double sgn_kp = (kp_odd && (j_o & 1L) != 0) ? -1.0 : 1.0;
+            const double snc0 = s0_zero ? 0.0 : sinc(kernel_.f0() * tau);
+            const double snc1 = sinc(kernel_.f1() * tau);
+            co[i] = window_((fj - d_frac_) * inv_span) *
+                    (s0o * sgn_k * snc0 + s1o * sgn_kp * snc1);
+        }
+    }
+
+    // Stage 2: two contiguous dot products (auto-vectorisable).
+    const double* ev = even_.data() + (centre + j_lo);
+    const double* od = odd_.data() + (centre + j_lo);
+    double acc_e = 0.0;
+    double acc_o = 0.0;
+    for (std::size_t i = 0; i < count; ++i)
+        acc_e += ev[i] * ce[i];
+    for (std::size_t i = 0; i < count; ++i)
+        acc_o += od[i] * co[i];
+    return acc_e + acc_o;
+}
+
+double pnbs_reconstructor::value_reference(double t) const {
     const double tr = t - t_start_;
     const double pos = tr / period_;
     const auto centre = static_cast<long>(std::llround(pos));
@@ -186,10 +327,18 @@ double pnbs_reconstructor::value(double t) const {
 }
 
 std::vector<double>
-pnbs_reconstructor::values(const std::vector<double>& t) const {
+pnbs_reconstructor::values(std::span<const double> t) const {
     std::vector<double> out(t.size());
     for (std::size_t i = 0; i < t.size(); ++i)
         out[i] = value(t[i]);
+    return out;
+}
+
+std::vector<double>
+pnbs_reconstructor::values_reference(std::span<const double> t) const {
+    std::vector<double> out(t.size());
+    for (std::size_t i = 0; i < t.size(); ++i)
+        out[i] = value_reference(t[i]);
     return out;
 }
 
@@ -199,6 +348,16 @@ std::vector<double> pnbs_reconstructor::uniform(double t0, double rate,
     std::vector<double> out(n);
     for (std::size_t i = 0; i < n; ++i)
         out[i] = value(t0 + static_cast<double>(i) / rate);
+    return out;
+}
+
+std::vector<double>
+pnbs_reconstructor::uniform_reference(double t0, double rate,
+                                      std::size_t n) const {
+    SDRBIST_EXPECTS(rate > 0.0);
+    std::vector<double> out(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = value_reference(t0 + static_cast<double>(i) / rate);
     return out;
 }
 

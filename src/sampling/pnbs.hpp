@@ -5,8 +5,10 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
+#include "dsp/window.hpp"
 #include "sampling/band.hpp"
 
 namespace sdrbist::sampling {
@@ -46,6 +48,19 @@ public:
 
     [[nodiscard]] double delay() const { return delay_; }
     [[nodiscard]] const band_spec& band() const { return band_; }
+
+    // Product-form coefficients, exposed so reconstructors can fuse the
+    // kernel evaluation (per-tap phase recurrences instead of per-tap
+    // transcendentals).
+    [[nodiscard]] double f0() const { return f0_; }  ///< s0 sinc frequency
+    [[nodiscard]] double f1() const { return f1_; }  ///< s1 sinc frequency
+    [[nodiscard]] double c0() const { return c0_; }  ///< s0 envelope at t=0
+    [[nodiscard]] double c1() const { return c1_; }  ///< s1 envelope at t=0
+    [[nodiscard]] double phi() const { return phi_; }       ///< k·π·B·D
+    [[nodiscard]] double psi() const { return psi_; }       ///< k⁺·π·B·D
+    [[nodiscard]] double sin_phi() const { return sin_phi_; }
+    [[nodiscard]] double sin_psi() const { return sin_psi_; }
+    [[nodiscard]] bool s0_vanishes() const { return s0_vanishes_; }
 
     /// Stability test of a candidate delay (paper eq. (3)): D must not be a
     /// multiple of T/k or T/k⁺ (within a relative tolerance of T).
@@ -87,6 +102,17 @@ struct pnbs_options {
 /// Practical PNBS reconstructor (paper eq. (6)): evaluates
 ///   f(t) ≈ Σ_{n in window} [ f(nT)·s(t-nT) + f(nT+D̂)·s(nT+D̂-t) ]·w(·)
 /// from finite records of the two sample streams.
+///
+/// The default evaluation path fuses s0 + s1 into per-call NCO factors plus
+/// per-tap rotation recurrences: the tap index enters the kernel's sin()
+/// arguments only through integer multiples of π·k / π·k⁺ (pure sign
+/// flips), so four sines per evaluation replace the four sines per *tap*
+/// of the textbook form, and the remaining per-tap cost is multiplies, a
+/// division and a window LUT load.  The accumulation runs as two
+/// contiguous dot products over the even/odd records so the compiler can
+/// vectorise it.  `value_reference()` retains the direct per-tap
+/// transcendental evaluation; `uniform()` calls the same fused kernel as
+/// `value()` and is therefore bit-identical to per-point evaluation.
 class pnbs_reconstructor {
 public:
     /// \param even     f(t_start + n·T) record
@@ -100,16 +126,27 @@ public:
                        double period, double t_start, const band_spec& band,
                        double delay_hypothesis, const pnbs_options& opt = {});
 
-    /// Reconstructed value at absolute time t.
+    /// Reconstructed value at absolute time t (fused fast path).
     [[nodiscard]] double value(double t) const;
 
-    /// Batch evaluation.
-    [[nodiscard]] std::vector<double>
-    values(const std::vector<double>& t) const;
+    /// Batch evaluation (bit-identical to per-point value()).
+    [[nodiscard]] std::vector<double> values(std::span<const double> t) const;
 
     /// Uniform-grid evaluation: n values at t0, t0+1/rate, ...
+    /// Bit-identical to calling value(t0 + i/rate) per point.
     [[nodiscard]] std::vector<double> uniform(double t0, double rate,
                                               std::size_t n) const;
+
+    /// Reference evaluation: direct per-tap kernel transcendentals
+    /// (retained, like dft_reference, so tests and benches can bound the
+    /// fused fast path's deviation).
+    [[nodiscard]] double value_reference(double t) const;
+
+    /// Batch / uniform-grid reference evaluation.
+    [[nodiscard]] std::vector<double>
+    values_reference(std::span<const double> t) const;
+    [[nodiscard]] std::vector<double>
+    uniform_reference(double t0, double rate, std::size_t n) const;
 
     /// Earliest/latest t with the full tap window inside the records.
     [[nodiscard]] double valid_begin() const;
@@ -125,9 +162,22 @@ private:
     double t_start_;
     kohlenberg_kernel kernel_;
     pnbs_options opt_;
-    std::vector<double> window_lut_; ///< Kaiser window on [0, 1], LUT
+    dsp::kaiser_lut window_; ///< shared continuous Kaiser window LUT
 
-    [[nodiscard]] double window_at(double u) const; // |u| in [0,1]
+    // Fused fast-path constants (derived from the kernel in the ctor).
+    long half_ = 0;          ///< taps / 2
+    double half_span_ = 0.0; ///< half + 1, window normalisation
+    double d_frac_ = 0.0;    ///< D̂ / T
+    double g0_ = 0.0;        ///< c0 / sin φ (0 when s0 vanishes)
+    double g1_ = 0.0;        ///< c1 / sin ψ
+    double del0_ = 0.0;      ///< π·f0·T, per-tap phase step of the s0 sinc
+    double del1_ = 0.0;      ///< π·f1·T
+    double eps0_ = 0.0;      ///< π·f0·D̂, odd-stream phase offset
+    double eps1_ = 0.0;      ///< π·f1·D̂
+    double cd0_ = 1.0, sd0_ = 0.0; ///< cos/sin of del0 (rotation recurrence)
+    double cd1_ = 1.0, sd1_ = 0.0; ///< cos/sin of del1
+
+    [[nodiscard]] double window_at(double u) const { return window_(u); }
 };
 
 } // namespace sdrbist::sampling

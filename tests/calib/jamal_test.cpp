@@ -64,8 +64,10 @@ TEST_P(JamalFrequencies, RecoversUnderPaperNoise) {
 INSTANTIATE_TEST_SUITE_P(Omegas, JamalFrequencies,
                          ::testing::Values(0.22, 0.31, 0.40, 0.46),
                          [](const auto& info) {
-                             return "w" + std::to_string(static_cast<int>(
-                                              info.param * 100.0));
+                             std::string name = "w";
+                             name += std::to_string(
+                                 static_cast<int>(info.param * 100.0));
+                             return name;
                          });
 
 TEST(JamalSineFit, HandlesSpectralInversion) {

@@ -43,7 +43,9 @@ INSTANTIATE_TEST_SUITE_P(Sizes, FftAgainstDft,
                          ::testing::Values(1, 2, 4, 8, 64, 128, 3, 5, 12, 100,
                                            255, 360),
                          [](const auto& info) {
-                             return "n" + std::to_string(info.param);
+                             std::string name = "n";
+                             name += std::to_string(info.param);
+                             return name;
                          });
 
 TEST(Fft, InverseRoundTrip) {

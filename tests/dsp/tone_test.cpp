@@ -71,8 +71,10 @@ TEST_P(SineFitFreqs, RecoversAcrossFrequencies) {
 INSTANTIATE_TEST_SUITE_P(Freqs, SineFitFreqs,
                          ::testing::Values(0.01, 0.1, 0.25, 0.4, 0.46, 0.49),
                          [](const auto& info) {
-                             return "f" + std::to_string(static_cast<int>(
-                                              info.param * 1000.0));
+                             std::string name = "f";
+                             name += std::to_string(
+                                 static_cast<int>(info.param * 1000.0));
+                             return name;
                          });
 
 TEST(SineFit, NoiseScalesPhaseError) {

@@ -122,7 +122,11 @@ TEST_P(HwReconBits, WordlengthControlsFloor) {
 INSTANTIATE_TEST_SUITE_P(Bits, HwReconBits,
                          ::testing::Values(0, 8, 10, 12, 16),
                          [](const auto& info) {
-                             return "b" + std::to_string(info.param);
+                             // Built via += (a `"lit" + to_string(...)`
+                             // temporary trips GCC 12's bogus -Wrestrict).
+                             std::string name = "b";
+                             name += std::to_string(info.param);
+                             return name;
                          });
 
 TEST(HwRecon, RomFootprintAccounting) {

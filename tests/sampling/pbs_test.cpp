@@ -65,10 +65,12 @@ TEST(PbsWindows, EveryRateInsideAWindowIsAliasFree) {
         const double mid = 0.5 * (w.rates.lo + w.rates.hi);
         EXPECT_TRUE(is_alias_free(band, mid)) << "n=" << w.n;
         // Just outside the window: aliasing.
-        if (w.rates.lo > 60.0 * MHz + 1.0)
+        if (w.rates.lo > 60.0 * MHz + 1.0) {
             EXPECT_FALSE(is_alias_free(band, w.rates.lo - 10.0 * kHz));
-        if (w.rates.hi < 100.0 * MHz - 1.0)
+        }
+        if (w.rates.hi < 100.0 * MHz - 1.0) {
             EXPECT_FALSE(is_alias_free(band, w.rates.hi + 10.0 * kHz));
+        }
     }
 }
 

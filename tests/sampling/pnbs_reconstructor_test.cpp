@@ -87,8 +87,10 @@ INSTANTIATE_TEST_SUITE_P(DelaySweep, PnbsReconstruction,
                          ::testing::Values(120.0 * ps, 180.0 * ps, 250.0 * ps,
                                            330.0 * ps, 420.0 * ps),
                          [](const auto& info) {
-                             return "D" + std::to_string(static_cast<int>(
-                                              info.param / ps));
+                             std::string name = "D";
+                             name += std::to_string(
+                                 static_cast<int>(info.param / ps));
+                             return name;
                          });
 
 TEST(PnbsReconstructor, InterpolatesExactSamplePoints) {

@@ -108,8 +108,10 @@ TEST(Constellation, Preconditions) {
     const std::vector<int> three{0, 1, 0};
     EXPECT_THROW(con.map_stream(three), sdrbist::contract_violation);
     const std::vector<int> bad{0, 2};
-    EXPECT_THROW(con.map(bad), sdrbist::contract_violation);
-    EXPECT_THROW(con.point(4), sdrbist::contract_violation);
+    EXPECT_THROW(static_cast<void>(con.map(bad)),
+                 sdrbist::contract_violation);
+    EXPECT_THROW(static_cast<void>(con.point(4)),
+                 sdrbist::contract_violation);
 }
 
 } // namespace
