@@ -7,8 +7,12 @@
 ///   campaign_runner --trials 3 --threads 8 --json campaign.json
 ///   campaign_runner --presets paper-qpsk-10M,dqpsk-1M
 ///                   --faults none,pa-gain-drop --csv coverage.csv
+///   campaign_runner --trials 8 --cache-dir .campaign-cache
+///                   --shard 0/3 --jsonl shard0.jsonl
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -86,10 +90,31 @@ void usage() {
         "  --seed S          campaign master seed\n"
         "  --jitter-sigma X  log-normal per-trial jitter spread\n"
         "  --dcde-sigma-ps X gaussian per-trial DCDE static-error spread\n"
+        "  --shard i/N       grade only shard i of N (grid index mod N);\n"
+        "                    shards sharing --cache-dir merge via a final\n"
+        "                    unsharded run that reads everything from cache\n"
+        "  --cache-dir PATH  scenario result cache: rerunning an\n"
+        "                    overlapping grid skips graded scenarios\n"
         "  --json PATH       write the full campaign JSON\n"
         "  --csv PATH        write the coverage-matrix CSV\n"
         "  --scenarios PATH  write the per-scenario CSV\n"
+        "  --jsonl PATH      stream per-scenario JSONL rows as they\n"
+        "                    complete (grid-order-restored on exit)\n"
         "  --help            this text\n";
+}
+
+/// Parse "i/N" into a shard_spec; exits with a usage error when malformed.
+campaign::shard_spec parse_shard(const std::string& text) {
+    const auto slash = text.find('/');
+    if (slash != std::string::npos) {
+        campaign::shard_spec shard;
+        shard.index = parse_count("--shard", text.substr(0, slash));
+        shard.count = parse_count("--shard", text.substr(slash + 1));
+        if (shard.count >= 1 && shard.index < shard.count)
+            return shard;
+    }
+    std::cerr << "--shard needs i/N with 0 <= i < N, got '" << text << "'\n";
+    std::exit(2);
 }
 
 int run_cli(int argc, char** argv);
@@ -112,7 +137,7 @@ int run_cli(int argc, char** argv) {
     cfg.base.tiadc.quant.full_scale = 2.0;
     cfg.base.min_output_rms = 1.2; // PA-health floor so gain faults count
 
-    std::string json_path, csv_path, scenarios_path;
+    std::string json_path, csv_path, scenarios_path, jsonl_path;
     std::vector<std::string> preset_names, fault_names;
 
     for (int i = 1; i < argc; ++i) {
@@ -141,12 +166,18 @@ int run_cli(int argc, char** argv) {
             cfg.perturb.jitter_rel_sigma = parse_double(arg, value());
         } else if (arg == "--dcde-sigma-ps") {
             cfg.perturb.dcde_static_sigma_s = parse_double(arg, value()) * ps;
+        } else if (arg == "--shard") {
+            cfg.shard = parse_shard(value());
+        } else if (arg == "--cache-dir") {
+            cfg.cache_dir = value();
         } else if (arg == "--json") {
             json_path = value();
         } else if (arg == "--csv") {
             csv_path = value();
         } else if (arg == "--scenarios") {
             scenarios_path = value();
+        } else if (arg == "--jsonl") {
+            jsonl_path = value();
         } else {
             std::cerr << "unknown option: " << arg << "\n";
             usage();
@@ -169,10 +200,28 @@ int run_cli(int argc, char** argv) {
         cfg.presets.size() * cfg.faults.size() * cfg.trials;
     std::cout << "campaign: " << cfg.presets.size() << " presets x "
               << cfg.faults.size() << " faults x " << cfg.trials
-              << " trials = " << scenario_count << " scenarios\n\n";
+              << " trials = " << scenario_count << " scenarios";
+    if (cfg.shard.count > 1)
+        std::cout << "  (shard " << cfg.shard.index << "/" << cfg.shard.count
+                  << ")";
+    std::cout << "\n\n";
+
+    std::unique_ptr<campaign::jsonl_stream> jsonl;
+    campaign::run_hooks hooks;
+    if (!jsonl_path.empty()) {
+        jsonl = std::make_unique<campaign::jsonl_stream>(jsonl_path);
+        hooks.on_scenario = [&](const campaign::scenario_result& r) {
+            jsonl->append(r);
+        };
+    }
 
     const campaign::campaign_runner runner(cfg);
-    const auto result = runner.run();
+    const auto result = runner.run(hooks);
+    if (jsonl) {
+        jsonl->finalise();
+        std::cout << "wrote " << jsonl_path << " (" << jsonl->rows()
+                  << " rows, streamed)\n";
+    }
 
     campaign::coverage_table(result).print(std::cout);
     std::cout << "\nyield (golden pass rate):  "
@@ -188,6 +237,15 @@ int run_cli(int argc, char** argv) {
               << text_table::num(result.wall_s, 2) << " s  ("
               << text_table::num(result.scenarios_per_second(), 2)
               << " scenarios/s)\n";
+    if (result.shard_count > 1)
+        std::cout << "shard:                     " << result.shard_index
+                  << "/" << result.shard_count << "  ("
+                  << result.results.size() << " of " << result.grid_size
+                  << " scenarios)\n";
+    if (!cfg.cache_dir.empty())
+        // Format relied upon by CI (warm-run assertion greps this line).
+        std::cout << "cache:                     " << result.cache_hits
+                  << " hits, " << result.cache_misses << " misses\n";
 
     bool engine_errors = false;
     for (const auto& r : result.results)

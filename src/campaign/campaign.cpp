@@ -1,10 +1,14 @@
 #include "campaign/campaign.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <exception>
+#include <optional>
+#include <utility>
 
+#include "campaign/cache.hpp"
 #include "core/contracts.hpp"
 #include "core/random.hpp"
 #include "core/thread_pool.hpp"
@@ -30,6 +34,36 @@ std::uint64_t derive_seed(std::uint64_t master, std::size_t preset_index,
     h = mix64(h ^ (static_cast<std::uint64_t>(fault_index) + 1));
     h = mix64(h ^ (static_cast<std::uint64_t>(trial) + 1));
     return h;
+}
+
+/// Rebuild the coverage matrix and population statistics from the result
+/// rows.  Shared by run() and merge_results() so a merged result goes
+/// through the exact aggregation code path of an unsharded run — the
+/// bit-identity guarantee is structural, not re-proven per release.
+void aggregate(campaign_result& out) {
+    out.matrix.assign(out.preset_names.size(),
+                      std::vector<coverage_cell>(out.fault_names.size()));
+    out.golden_runs = out.golden_passes = 0;
+    out.fault_runs = out.fault_detected = 0;
+    out.scenario_cpu_s = 0.0;
+    for (const auto& r : out.results) {
+        SDRBIST_EXPECTS(r.sc.preset_index < out.preset_names.size());
+        SDRBIST_EXPECTS(r.sc.fault_index < out.fault_names.size());
+        coverage_cell& cell = out.matrix[r.sc.preset_index][r.sc.fault_index];
+        ++cell.runs;
+        if (r.flagged())
+            ++cell.flagged;
+        if (r.sc.fault == bist::fault_kind::none) {
+            ++out.golden_runs;
+            if (!r.flagged())
+                ++out.golden_passes;
+        } else {
+            ++out.fault_runs;
+            if (r.flagged())
+                ++out.fault_detected;
+        }
+        out.scenario_cpu_s += r.elapsed_s;
+    }
 }
 
 } // namespace
@@ -111,15 +145,29 @@ campaign_runner::campaign_runner(campaign_config config)
     SDRBIST_EXPECTS(!config_.presets.empty());
     SDRBIST_EXPECTS(!config_.faults.empty());
     SDRBIST_EXPECTS(config_.trials >= 1);
+    SDRBIST_EXPECTS(config_.shard.count >= 1);
+    SDRBIST_EXPECTS(config_.shard.index < config_.shard.count);
 }
 
-campaign_result campaign_runner::run() const {
+campaign_result campaign_runner::run(const run_hooks& hooks) const {
     using clock = std::chrono::steady_clock;
 
-    const auto grid = expand_grid(config_);
+    const auto full_grid = expand_grid(config_);
+    std::vector<scenario> grid;
+    if (config_.shard.count <= 1) {
+        grid = full_grid;
+    } else {
+        for (const auto& sc : full_grid)
+            if (config_.shard.contains(sc.index))
+                grid.push_back(sc);
+    }
+
     campaign_result out;
     out.trials = config_.trials;
     out.seed = config_.seed;
+    out.shard_index = config_.shard.index;
+    out.shard_count = config_.shard.count;
+    out.grid_size = full_grid.size();
     out.preset_names.reserve(config_.presets.size());
     for (const auto& p : config_.presets)
         out.preset_names.push_back(p.name);
@@ -127,11 +175,17 @@ campaign_result campaign_runner::run() const {
     for (const auto f : config_.faults)
         out.fault_names.push_back(bist::to_string(f));
 
+    std::optional<scenario_cache> cache;
+    if (!config_.cache_dir.empty())
+        cache.emplace(config_.cache_dir);
+    std::atomic<std::size_t> hits{0};
+    std::atomic<std::size_t> misses{0};
+
     // Execute: each job reads the shared config and writes only its own
     // grid-indexed slot, so thread count cannot affect any result.
     out.results.resize(grid.size());
     const auto wall_start = clock::now();
-    {
+    if (!grid.empty()) {
         // Never spawn more workers than there are scenarios.
         const std::size_t requested =
             config_.threads ? config_.threads
@@ -142,40 +196,114 @@ campaign_result campaign_runner::run() const {
             scenario_result& slot = out.results[i];
             slot.sc = grid[i];
             const auto t0 = clock::now();
+            std::string key;
+            bool hit = false;
+            bool cacheable = true;
+            // Only scenario materialisation and the engine run belong in
+            // the try: a throwing observer hook must propagate (and abort
+            // the campaign), never be recorded as this scenario's engine
+            // error — that would poison the cache entry.
             try {
-                const bist::bist_engine engine(
-                    scenario_config(config_, grid[i]));
-                slot.report = engine.run();
-            } catch (const std::exception& e) {
+                const bist::bist_config materialised =
+                    scenario_config(config_, grid[i]);
+                if (cache) {
+                    key = scenario_cache::key(grid[i], materialised);
+                    if (auto cached = cache->load(key)) {
+                        // Restore the graded outcome; `elapsed_s` keeps the
+                        // original grading cost, not the lookup cost, so
+                        // `scenario_cpu_s` still reports what the grid
+                        // costs to compute.
+                        slot.report = std::move(cached->report);
+                        slot.engine_error = cached->engine_error;
+                        slot.error = std::move(cached->error);
+                        slot.elapsed_s = cached->elapsed_s;
+                        hit = true;
+                    }
+                }
+                if (!hit) {
+                    const bist::bist_engine engine(materialised);
+                    slot.report = engine.run();
+                }
+            } catch (const contract_violation& e) {
+                // Deterministic config rejection: re-running reproduces it,
+                // so the verdict is safe to cache.
                 slot.engine_error = true;
                 slot.error = e.what();
+            } catch (const std::exception& e) {
+                // Possibly transient (resource exhaustion, I/O): record the
+                // failure for this run, but never persist it — a cached
+                // error would flag this scenario on every warm rerun.
+                slot.engine_error = true;
+                slot.error = e.what();
+                cacheable = false;
             }
-            slot.elapsed_s =
-                std::chrono::duration<double>(clock::now() - t0).count();
+            if (hit) {
+                hits.fetch_add(1, std::memory_order_relaxed);
+            } else {
+                slot.elapsed_s =
+                    std::chrono::duration<double>(clock::now() - t0).count();
+                misses.fetch_add(1, std::memory_order_relaxed);
+                if (cache && !key.empty() && cacheable)
+                    cache->store(key, slot);
+            }
+            if (hooks.on_scenario)
+                hooks.on_scenario(slot);
         });
     }
     out.wall_s =
         std::chrono::duration<double>(clock::now() - wall_start).count();
+    out.cache_hits = hits.load();
+    out.cache_misses = misses.load();
 
     // Aggregate in grid order (deterministic regardless of completion order).
-    out.matrix.assign(config_.presets.size(),
-                      std::vector<coverage_cell>(config_.faults.size()));
-    for (const auto& r : out.results) {
-        coverage_cell& cell = out.matrix[r.sc.preset_index][r.sc.fault_index];
-        ++cell.runs;
-        if (r.flagged())
-            ++cell.flagged;
-        if (r.sc.fault == bist::fault_kind::none) {
-            ++out.golden_runs;
-            if (!r.flagged())
-                ++out.golden_passes;
-        } else {
-            ++out.fault_runs;
-            if (r.flagged())
-                ++out.fault_detected;
-        }
-        out.scenario_cpu_s += r.elapsed_s;
+    aggregate(out);
+    return out;
+}
+
+campaign_result merge_results(const std::vector<campaign_result>& shards) {
+    SDRBIST_EXPECTS(!shards.empty());
+    const campaign_result& first = shards.front();
+
+    campaign_result out;
+    out.preset_names = first.preset_names;
+    out.fault_names = first.fault_names;
+    out.trials = first.trials;
+    out.seed = first.seed;
+    out.shard_index = 0;
+    out.shard_count = 1;
+    out.grid_size = first.grid_size;
+
+    std::size_t total_rows = 0;
+    for (const auto& shard : shards) {
+        // Every shard must describe the same campaign.
+        SDRBIST_EXPECTS(shard.preset_names == out.preset_names);
+        SDRBIST_EXPECTS(shard.fault_names == out.fault_names);
+        SDRBIST_EXPECTS(shard.trials == out.trials);
+        SDRBIST_EXPECTS(shard.seed == out.seed);
+        SDRBIST_EXPECTS(shard.grid_size == out.grid_size);
+        total_rows += shard.results.size();
+        // Measured fields combine conservatively: the merged wall time is
+        // the sequential-equivalent sum (shards may have run anywhere).
+        out.wall_s += shard.wall_s;
+        out.threads_used = std::max(out.threads_used, shard.threads_used);
+        out.cache_hits += shard.cache_hits;
+        out.cache_misses += shard.cache_misses;
     }
+    SDRBIST_EXPECTS(total_rows == out.grid_size);
+
+    // Scatter rows back into grid order; duplicate or out-of-range indices
+    // are contract violations (two shards graded the same scenario).
+    out.results.resize(out.grid_size);
+    std::vector<bool> filled(out.grid_size, false);
+    for (const auto& shard : shards)
+        for (const auto& r : shard.results) {
+            SDRBIST_EXPECTS(r.sc.index < out.grid_size);
+            SDRBIST_EXPECTS(!filled[r.sc.index]);
+            filled[r.sc.index] = true;
+            out.results[r.sc.index] = r;
+        }
+
+    aggregate(out);
     return out;
 }
 

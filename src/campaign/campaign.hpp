@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,20 @@
 #include "waveform/standard.hpp"
 
 namespace sdrbist::campaign {
+
+/// Deterministic partition of the expanded grid for distributed execution.
+/// Shard k of K owns every scenario whose grid index ≡ k (mod K) — a
+/// round-robin split, so presets of very different cost spread evenly
+/// across shards.  Grid-coordinate seed derivation makes shards fully
+/// independent; `merge_results()` recombines them bit-identically.
+struct shard_spec {
+    std::size_t index = 0; ///< this shard's id, in [0, count)
+    std::size_t count = 1; ///< total shards; 1 = the whole grid
+
+    [[nodiscard]] bool contains(std::size_t scenario_index) const {
+        return scenario_index % count == index;
+    }
+};
 
 /// Monte-Carlo perturbations applied per trial on top of the derived seeds
 /// (device-to-device spread a production population would show).
@@ -57,6 +72,14 @@ struct campaign_config {
     bool relax_mask_to_floor = true;
 
     std::size_t threads = 0;                ///< worker count; 0 = hardware
+
+    /// Portion of the grid this process grades (default: all of it).
+    shard_spec shard{};
+    /// On-disk scenario result cache directory; empty = caching disabled.
+    /// Keys are content hashes of the materialised per-scenario engine
+    /// config (see campaign/cache.hpp), so overlapping grids and repeated
+    /// runs skip already-graded scenarios.
+    std::string cache_dir;
 };
 
 /// One expanded grid row.
@@ -105,7 +128,21 @@ struct campaign_result {
     std::uint64_t seed = 0;
     std::size_t threads_used = 0;
 
-    /// Per-scenario outcomes in grid order (deterministic).
+    // Shard bookkeeping.  A full (or merged) result is shard 0 of 1;
+    // `grid_size` is always the size of the *full* expanded grid, so
+    // `results.size() < grid_size` identifies a partial (shard) result.
+    std::size_t shard_index = 0;
+    std::size_t shard_count = 1;
+    std::size_t grid_size = 0;
+
+    // Result-cache accounting for this run (both 0 when caching is off).
+    // Environment-dependent like the timing fields: a warm rerun flips
+    // misses into hits, so exporters treat these as measured data.
+    std::size_t cache_hits = 0;
+    std::size_t cache_misses = 0;
+
+    /// Per-scenario outcomes in grid order (deterministic).  For a shard
+    /// result these are only the shard's rows (still ascending by index).
     std::vector<scenario_result> results;
     /// matrix[preset][fault] — detection rates per cell.
     std::vector<std::vector<coverage_cell>> matrix;
@@ -155,19 +192,41 @@ std::vector<scenario> expand_grid(const campaign_config& cfg);
 bist::bist_config scenario_config(const campaign_config& cfg,
                                   const scenario& sc);
 
+/// Observers the runner invokes while a campaign executes.
+struct run_hooks {
+    /// Called once per scenario the moment its result slot is final
+    /// (engine run finished or cache hit).  Invoked concurrently from
+    /// worker threads in completion order — the callee must synchronise
+    /// (campaign::jsonl_stream does).  The reference is only valid for the
+    /// duration of the call.
+    std::function<void(const scenario_result&)> on_scenario;
+};
+
 /// Executes campaigns on a fixed thread pool.
 class campaign_runner {
 public:
     explicit campaign_runner(campaign_config config);
 
-    /// Run the whole grid.  Results are in grid order and bit-identical
-    /// for any thread count.
-    [[nodiscard]] campaign_result run() const;
+    /// Run the configured portion of the grid (all of it by default; the
+    /// shard's rows when `config.shard` says so).  Results are in grid
+    /// order and bit-identical for any thread count; with `cache_dir` set,
+    /// already-graded scenarios are restored from disk instead of re-run.
+    [[nodiscard]] campaign_result run() const { return run(run_hooks{}); }
+    [[nodiscard]] campaign_result run(const run_hooks& hooks) const;
 
     [[nodiscard]] const campaign_config& config() const { return config_; }
 
 private:
     campaign_config config_;
 };
+
+/// Recombine per-shard results into one full-grid result that is
+/// bit-identical (coverage matrix, yield/escape statistics, scenario rows,
+/// timing-free exports) to running the whole grid unsharded.  The shards
+/// must share the grid axes and together cover every scenario index exactly
+/// once; otherwise contract_violation.  Shard order does not matter.
+/// Measured fields are combined conservatively: wall times and cache
+/// counters sum, `threads_used` takes the maximum.
+campaign_result merge_results(const std::vector<campaign_result>& shards);
 
 } // namespace sdrbist::campaign

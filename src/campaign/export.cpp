@@ -1,9 +1,12 @@
 #include "campaign/export.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
+#include <sstream>
 
 #include "core/contracts.hpp"
 
@@ -34,35 +37,7 @@ std::string csv_cell(const std::string& s) {
     return out;
 }
 
-/// Emits one JSON object with caller-controlled field order.
-class json_object_writer {
-public:
-    void field(const std::string& key, const std::string& raw_value) {
-        if (!first_)
-            body_ += ',';
-        first_ = false;
-        body_ += json_quote(key);
-        body_ += ':';
-        body_ += raw_value;
-    }
-    void string_field(const std::string& key, const std::string& value) {
-        field(key, json_quote(value));
-    }
-    void number_field(const std::string& key, double value) {
-        field(key, json_number(value));
-    }
-    void size_field(const std::string& key, std::size_t value) {
-        field(key, format_size(value));
-    }
-    void bool_field(const std::string& key, bool value) {
-        field(key, value ? "true" : "false");
-    }
-    [[nodiscard]] std::string str() const { return "{" + body_ + "}"; }
-
-private:
-    std::string body_;
-    bool first_ = true;
-};
+} // namespace
 
 std::string scenario_json(const scenario_result& r, const export_options& opt) {
     json_object_writer o;
@@ -94,8 +69,6 @@ std::string scenario_json(const scenario_result& r, const export_options& opt) {
         o.number_field("elapsed_s", r.elapsed_s);
     return o.str();
 }
-
-} // namespace
 
 std::string json_number(double v) {
     if (!std::isfinite(v))
@@ -175,6 +148,10 @@ std::string to_json(const campaign_result& result, export_options opt) {
             o.number_field("scenario_cpu_seconds", result.scenario_cpu_s);
             o.number_field("scenarios_per_second",
                            result.scenarios_per_second());
+            // Cache counters are measured data too: a warm rerun flips
+            // misses into hits, so they would break byte-identity.
+            o.size_field("cache_hits", result.cache_hits);
+            o.size_field("cache_misses", result.cache_misses);
         }
         summary = o.str();
     }
@@ -267,6 +244,96 @@ std::string scenarios_csv(const campaign_result& result, export_options opt) {
         out += '\n';
     }
     return out;
+}
+
+std::string scenarios_jsonl(const campaign_result& result,
+                            export_options opt) {
+    std::string out;
+    for (const auto& r : result.results) {
+        out += scenario_json(r, opt);
+        out += '\n';
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Streaming JSONL sink
+// ---------------------------------------------------------------------------
+
+jsonl_stream::jsonl_stream(std::string path, export_options opt)
+    : path_(std::move(path)), opt_(opt),
+      out_(path_, std::ios::binary | std::ios::trunc) {
+    SDRBIST_EXPECTS(out_.good());
+}
+
+jsonl_stream::~jsonl_stream() {
+    try {
+        finalise();
+    } catch (...) {
+        // Destructor best-effort: the completion-order file is still valid
+        // JSONL, just not grid-ordered.
+    }
+}
+
+void jsonl_stream::append(const scenario_result& r) {
+    const std::string line = scenario_json(r, opt_) + "\n";
+    const std::lock_guard<std::mutex> lock(mutex_);
+    SDRBIST_EXPECTS(!finalised_);
+    out_ << line;
+    out_.flush(); // each row must be observable before the run finishes
+    rows_.push_back({r.sc.index, bytes_written_, line.size()});
+    bytes_written_ += line.size();
+}
+
+void jsonl_stream::finalise() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (finalised_)
+        return;
+    out_.close();
+
+    // Re-read the completion-order bytes and publish the grid-ordered
+    // artefact atomically: write a sibling temp file, then rename over the
+    // original.  Any failure leaves the completion-order file untouched —
+    // still valid JSONL, still salvageable.
+    std::string streamed;
+    {
+        std::ifstream in(path_, std::ios::binary);
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        streamed = buffer.str();
+    }
+    SDRBIST_ENSURES(streamed.size() == bytes_written_);
+
+    std::sort(rows_.begin(), rows_.end(),
+              [](const row_ref& a, const row_ref& b) {
+                  return a.grid_index < b.grid_index;
+              });
+    const std::string tmp = path_ + ".ordered.tmp";
+    {
+        std::ofstream ordered(tmp, std::ios::binary | std::ios::trunc);
+        for (const auto& row : rows_)
+            ordered.write(streamed.data() +
+                              static_cast<std::streamoff>(row.offset),
+                          static_cast<std::streamsize>(row.length));
+        ordered.flush();
+        if (!ordered.good()) {
+            std::error_code ec;
+            std::filesystem::remove(tmp, ec);
+            SDRBIST_ENSURES(!"jsonl_stream finalise: ordered rewrite failed");
+        }
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path_, ec);
+    if (ec) {
+        std::filesystem::remove(tmp, ec);
+        SDRBIST_ENSURES(!"jsonl_stream finalise: rename failed");
+    }
+    finalised_ = true;
+}
+
+std::size_t jsonl_stream::rows() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return rows_.size();
 }
 
 text_table coverage_table(const campaign_result& result) {

@@ -1,15 +1,18 @@
 /// \file export.hpp
 /// \brief Structured campaign-result export: deterministic JSON and CSV,
-///        plus text-table rendering through core/table.
+///        streaming JSONL, plus text-table rendering through core/table.
 ///
 /// Export is deterministic: field order is fixed, numbers are printed in
 /// shortest round-trip form, and rows follow the grid order — two campaigns
-/// with the same config produce byte-identical artefacts (timing fields can
-/// be suppressed via export_options for byte-level comparisons).
+/// with the same config produce byte-identical artefacts (measured fields
+/// can be suppressed via export_options for byte-level comparisons).
 #pragma once
 
+#include <fstream>
 #include <map>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <variant>
 #include <vector>
 
@@ -20,8 +23,10 @@ namespace sdrbist::campaign {
 
 /// Controls for the exporters.
 struct export_options {
-    /// Include wall/elapsed timing fields.  These are measured, hence not
-    /// reproducible run-to-run; disable for byte-identical artefacts.
+    /// Include the *measured* fields: wall/elapsed timing, worker thread
+    /// count and cache hit/miss counters.  None of these is reproducible
+    /// run-to-run (a warm rerun flips misses into hits just like it moves
+    /// the wall time); disable for byte-identical artefacts.
     bool include_timing = true;
     /// Include the per-scenario rows (the bulk of the payload) in JSON.
     bool include_scenarios = true;
@@ -37,9 +42,70 @@ std::string coverage_csv(const campaign_result& result);
 std::string scenarios_csv(const campaign_result& result,
                           export_options opt = {});
 
+/// One scenario row as a JSON object — the payload of the `scenarios`
+/// array in to_json() and of one JSONL line.
+std::string scenario_json(const scenario_result& r,
+                          const export_options& opt = {});
+
+/// All scenario rows as JSONL (one scenario_json object per line, grid
+/// order).  Byte-identical to what jsonl_stream leaves on disk after
+/// finalise() for the same rows and options.
+std::string scenarios_jsonl(const campaign_result& result,
+                            export_options opt = {});
+
 /// Coverage matrix rendered as a core/table text table (presets as rows,
 /// faults as columns, cells flagged/runs).
 text_table coverage_table(const campaign_result& result);
+
+/// Streaming JSONL sink: emits one scenario row per line *as scenarios
+/// complete*, so long grids produce a consumable artefact incrementally
+/// (tail -f, partial-failure salvage).  Thread-safe — hand `append` to
+/// campaign::run_hooks::on_scenario directly.  Lines land on disk in
+/// completion order (flushed per row); finalise() rewrites the file in
+/// grid order, making the artefact deterministic and byte-identical to
+/// scenarios_jsonl() of the finished result.
+class jsonl_stream {
+public:
+    /// Opens (truncates) `path`.  Throws contract_violation when the file
+    /// cannot be created.
+    explicit jsonl_stream(std::string path, export_options opt = {});
+
+    /// Destructor finalises if the caller has not (best-effort).
+    ~jsonl_stream();
+
+    jsonl_stream(const jsonl_stream&) = delete;
+    jsonl_stream& operator=(const jsonl_stream&) = delete;
+
+    /// Append one completed scenario (thread-safe; line is flushed).
+    void append(const scenario_result& r);
+
+    /// Restore grid order on disk and close the file.  Rewrites through a
+    /// temp file + rename, so a failure (disk full, path removed) leaves
+    /// the completion-order artefact intact for salvage.  Idempotent.
+    void finalise();
+
+    /// Rows appended so far.
+    [[nodiscard]] std::size_t rows() const;
+
+private:
+    /// Where one appended row landed in the completion-order file.  Only
+    /// coordinates are retained in memory — finalise() re-reads the row
+    /// bytes from disk, so the sink's footprint stays O(rows), not
+    /// O(artefact), on the long grids it exists for.
+    struct row_ref {
+        std::size_t grid_index;
+        std::size_t offset;
+        std::size_t length;
+    };
+
+    mutable std::mutex mutex_;
+    std::string path_;
+    export_options opt_;
+    std::ofstream out_;
+    std::vector<row_ref> rows_;
+    std::size_t bytes_written_ = 0;
+    bool finalised_ = false;
+};
 
 // ---------------------------------------------------------------------------
 // Minimal JSON document model + parser, sufficient for everything the
@@ -111,5 +177,37 @@ std::string json_number(double v);
 
 /// Parse CSV text (RFC-4180-style quoting) into rows of cells.
 std::vector<std::vector<std::string>> parse_csv(const std::string& text);
+
+/// Emits one JSON object with caller-controlled field order (std::map
+/// would sort keys; exports fix their own order).  Shared by the campaign
+/// exporters and the result-cache serialiser.
+class json_object_writer {
+public:
+    void field(const std::string& key, const std::string& raw_value) {
+        if (!first_)
+            body_ += ',';
+        first_ = false;
+        body_ += json_quote(key);
+        body_ += ':';
+        body_ += raw_value;
+    }
+    void string_field(const std::string& key, const std::string& value) {
+        field(key, json_quote(value));
+    }
+    void number_field(const std::string& key, double value) {
+        field(key, json_number(value));
+    }
+    void size_field(const std::string& key, std::size_t value) {
+        field(key, std::to_string(value));
+    }
+    void bool_field(const std::string& key, bool value) {
+        field(key, value ? "true" : "false");
+    }
+    [[nodiscard]] std::string str() const { return "{" + body_ + "}"; }
+
+private:
+    std::string body_;
+    bool first_ = true;
+};
 
 } // namespace sdrbist::campaign

@@ -1,6 +1,10 @@
-// Structured export: deterministic JSON/CSV, round-trips through the
-// bundled parsers.
+// Structured export: deterministic JSON/CSV/JSONL, round-trips through
+// the bundled parsers, measured-field suppression audit.
 #include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "campaign/campaign.hpp"
 #include "campaign/export.hpp"
@@ -75,6 +79,84 @@ TEST(CampaignExport, JsonRoundTripsThroughParser) {
         EXPECT_DOUBLE_EQ(row.at("mask_worst_margin_db").as_number(),
                          r.report.mask.worst_margin_db);
     }
+}
+
+/// Recursively assert that no key from `forbidden` appears anywhere in a
+/// parsed JSON document (objects at any nesting depth).
+void expect_no_keys(const json_value& v,
+                    const std::vector<std::string>& forbidden) {
+    if (v.is_object()) {
+        for (const auto& [key, child] : v.as_object()) {
+            for (const auto& f : forbidden)
+                EXPECT_NE(key, f) << "measured field leaked: " << f;
+            expect_no_keys(child, forbidden);
+        }
+    } else if (v.is_array()) {
+        for (const auto& child : v.as_array())
+            expect_no_keys(child, forbidden);
+    }
+}
+
+TEST(CampaignExport, SuppressedExportsContainNoMeasuredFieldAnywhere) {
+    // Regression for the include_timing=false audit: *every* measured
+    // field — wall/elapsed timing, thread count, cache counters — must be
+    // absent from every exporter, at any nesting depth.  The golden tests
+    // depend on this: one leaked measured field breaks byte-identity.
+    const std::vector<std::string> measured = {
+        "elapsed_s",        "wall_seconds", "scenario_cpu_seconds",
+        "scenarios_per_second", "threads",  "cache_hits",
+        "cache_misses"};
+    const auto& result = tiny_campaign_result();
+    export_options opt;
+    opt.include_timing = false;
+
+    expect_no_keys(parse_json(to_json(result, opt)), measured);
+
+    std::istringstream jsonl(scenarios_jsonl(result, opt));
+    std::string row;
+    while (std::getline(jsonl, row))
+        expect_no_keys(parse_json(row), measured);
+
+    const auto csv = parse_csv(scenarios_csv(result, opt));
+    ASSERT_FALSE(csv.empty());
+    for (const auto& cell : csv[0])
+        EXPECT_EQ(cell.find("elapsed"), std::string::npos);
+    // Row width matches the suppressed header (no dangling timing column).
+    for (const auto& row : csv)
+        EXPECT_EQ(row.size(), csv[0].size());
+}
+
+TEST(CampaignExport, MeasuredFieldsPresentWhenRequested) {
+    // The default export keeps the full diagnostics, including the cache
+    // counters introduced with the result cache.
+    const auto& result = tiny_campaign_result();
+    const auto doc = parse_json(to_json(result));
+    const auto& summary = doc.at("summary").as_object();
+    EXPECT_EQ(summary.count("wall_seconds"), 1u);
+    EXPECT_EQ(summary.count("cache_hits"), 1u);
+    EXPECT_EQ(summary.count("cache_misses"), 1u);
+    EXPECT_DOUBLE_EQ(summary.at("cache_hits").as_number(), 0.0);
+    EXPECT_EQ(doc.at("campaign").as_object().count("threads"), 1u);
+    const auto& row = doc.at("scenarios").at(std::size_t{0}).as_object();
+    EXPECT_EQ(row.count("elapsed_s"), 1u);
+}
+
+TEST(CampaignExport, JsonlMatchesJsonScenarioRows) {
+    // One JSONL line per scenario, each byte-identical to the object in
+    // the JSON document's scenarios array.
+    const auto& result = tiny_campaign_result();
+    export_options opt;
+    opt.include_timing = false;
+    const std::string jsonl = scenarios_jsonl(result, opt);
+    std::istringstream rows(jsonl);
+    std::string row;
+    std::size_t i = 0;
+    while (std::getline(rows, row)) {
+        ASSERT_LT(i, result.results.size());
+        EXPECT_EQ(row, scenario_json(result.results[i], opt));
+        ++i;
+    }
+    EXPECT_EQ(i, result.results.size());
 }
 
 TEST(CampaignExport, TimingFieldsCanBeSuppressed) {

@@ -1,0 +1,60 @@
+// core/hash: FNV-1a reference vectors, incremental equivalence, hex
+// rendering — the cache-key substrate must be portable and stable forever.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "core/hash.hpp"
+
+namespace {
+
+using namespace sdrbist;
+
+TEST(Fnv1a64, MatchesPublishedReferenceVectors) {
+    // Reference values from the FNV specification (Noll/Vo/Eastlake),
+    // 64-bit FNV-1a.  If these ever change, every on-disk cache key moves.
+    EXPECT_EQ(fnv1a64::hash(""), 0xCBF29CE484222325ull);
+    EXPECT_EQ(fnv1a64::hash("a"), 0xAF63DC4C8601EC8Cull);
+    EXPECT_EQ(fnv1a64::hash("foobar"), 0x85944171F73967E8ull);
+}
+
+TEST(Fnv1a64, IncrementalUpdatesEqualOneShot) {
+    fnv1a64 h;
+    h.update("foo");
+    h.update("");
+    h.update("bar");
+    EXPECT_EQ(h.value(), fnv1a64::hash("foobar"));
+}
+
+TEST(Fnv1a64, HexIsFixedWidthLowercase) {
+    fnv1a64 h; // empty input -> offset basis
+    EXPECT_EQ(h.hex(), "cbf29ce484222325");
+    EXPECT_EQ(fnv1a64::hex_digest(0), "0000000000000000");
+    EXPECT_EQ(fnv1a64::hex_digest(0xFFull), "00000000000000ff");
+    EXPECT_EQ(fnv1a64::hex_digest(0x123456789ABCDEF0ull),
+              "123456789abcdef0");
+}
+
+TEST(Fnv1a64, SensitiveToEveryByte) {
+    const std::string base = "campaign-cache-key";
+    const std::uint64_t reference = fnv1a64::hash(base);
+    for (std::size_t i = 0; i < base.size(); ++i) {
+        std::string mutated = base;
+        mutated[i] ^= 0x01;
+        EXPECT_NE(fnv1a64::hash(mutated), reference)
+            << "flip at byte " << i << " must move the digest";
+    }
+    // Embedded NUL bytes are hashed, not terminated on.
+    EXPECT_NE(fnv1a64::hash(std::string("a\0b", 3)),
+              fnv1a64::hash(std::string("ab", 2)));
+}
+
+TEST(Fnv1a64, NoCheapCollisionsOnShortKeys) {
+    std::set<std::uint64_t> digests;
+    for (int i = 0; i < 1000; ++i)
+        digests.insert(fnv1a64::hash("scenario-" + std::to_string(i)));
+    EXPECT_EQ(digests.size(), 1000u);
+}
+
+} // namespace
