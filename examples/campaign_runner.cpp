@@ -19,6 +19,7 @@
 
 #include "campaign/campaign.hpp"
 #include "campaign/export.hpp"
+#include "core/simd/kernel_backend.hpp"
 #include "core/table.hpp"
 #include "core/units.hpp"
 
@@ -90,6 +91,9 @@ void usage() {
         "  --seed S          campaign master seed\n"
         "  --jitter-sigma X  log-normal per-trial jitter spread\n"
         "  --dcde-sigma-ps X gaussian per-trial DCDE static-error spread\n"
+        "  --backend NAME    force the SIMD kernel backend (scalar, avx2,\n"
+        "                    neon; default: best the CPU supports, or the\n"
+        "                    SDRBIST_FORCE_BACKEND environment variable)\n"
         "  --shard i/N       grade only shard i of N (grid index mod N);\n"
         "                    shards sharing --cache-dir merge via a final\n"
         "                    unsharded run that reads everything from cache\n"
@@ -166,6 +170,10 @@ int run_cli(int argc, char** argv) {
             cfg.perturb.jitter_rel_sigma = parse_double(arg, value());
         } else if (arg == "--dcde-sigma-ps") {
             cfg.perturb.dcde_static_sigma_s = parse_double(arg, value()) * ps;
+        } else if (arg == "--backend") {
+            // Force before any engine object captures the dispatched table;
+            // unknown/unsupported names throw (caught in main, exit 2).
+            simd::kernel_backend::force(value());
         } else if (arg == "--shard") {
             cfg.shard = parse_shard(value());
         } else if (arg == "--cache-dir") {
@@ -200,7 +208,8 @@ int run_cli(int argc, char** argv) {
         cfg.presets.size() * cfg.faults.size() * cfg.trials;
     std::cout << "campaign: " << cfg.presets.size() << " presets x "
               << cfg.faults.size() << " faults x " << cfg.trials
-              << " trials = " << scenario_count << " scenarios";
+              << " trials = " << scenario_count << " scenarios"
+              << "  [backend " << simd::kernel_backend::select().name << "]";
     if (cfg.shard.count > 1)
         std::cout << "  (shard " << cfg.shard.index << "/" << cfg.shard.count
                   << ")";

@@ -1,33 +1,42 @@
 #include "adc/quantizer.hpp"
 
-#include <algorithm>
-#include <cmath>
-
 #include "core/contracts.hpp"
 
 namespace sdrbist::adc {
 
-quantizer::quantizer(quantizer_config config) : config_(config) {
+quantizer::quantizer(quantizer_config config)
+    : config_(config), ops_(&simd::kernel_backend::select()) {
     SDRBIST_EXPECTS(config_.bits >= 1 && config_.bits <= 24);
     SDRBIST_EXPECTS(config_.full_scale > 0.0);
     lsb_ = 2.0 * config_.full_scale /
            static_cast<double>(1 << config_.bits);
+    // Kernel parameters of the mid-rise characteristic: channel errors act
+    // on the analog sample before conversion, the range is clipped with the
+    // top code kept reachable.
+    params_.gain = 1.0 + config_.gain_error;
+    params_.offset = config_.offset_error;
+    params_.clip_lo = -config_.full_scale;
+    params_.clip_hi = config_.full_scale - lsb_ * 1e-9;
+    params_.lsb = lsb_;
 }
 
 double quantizer::quantize(double x) const {
-    // Channel errors act on the analog sample before conversion.
-    x = x * (1.0 + config_.gain_error) + config_.offset_error;
-    // Clip to the converter range.
-    const double fs = config_.full_scale;
-    x = std::clamp(x, -fs, fs - lsb_ * 1e-9); // keep top code reachable
-    // Mid-rise characteristic.
-    return lsb_ * (std::floor(x / lsb_) + 0.5);
+    // The scalar table (not the dispatched one) keeps single-sample results
+    // independent of backend selection; the kernel is bit-identical across
+    // backends anyway, so process()/process_scaled() agree with this.
+    double out = 0.0;
+    simd::scalar_ops().quantize_midrise(&x, &out, 1, 1.0, params_);
+    return out;
 }
 
 std::vector<double> quantizer::process(std::span<const double> x) const {
+    return process_scaled(x, 1.0);
+}
+
+std::vector<double> quantizer::process_scaled(std::span<const double> x,
+                                              double scale) const {
     std::vector<double> out(x.size());
-    for (std::size_t i = 0; i < x.size(); ++i)
-        out[i] = quantize(x[i]);
+    ops_->quantize_midrise(x.data(), out.data(), x.size(), scale, params_);
     return out;
 }
 

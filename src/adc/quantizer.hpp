@@ -5,6 +5,8 @@
 #include <span>
 #include <vector>
 
+#include "core/simd/kernel_backend.hpp"
+
 namespace sdrbist::adc {
 
 /// Quantiser parameters.  The paper's ADCs are 10-bit converters.
@@ -21,10 +23,18 @@ public:
     explicit quantizer(quantizer_config config);
 
     /// Quantise one sample (applies gain and offset error first).
+    /// Evaluated through the scalar kernel table so that per-sample and
+    /// batched results stay bit-identical on every architecture.
     [[nodiscard]] double quantize(double x) const;
 
-    /// Quantise a record.
+    /// Quantise a record (SIMD batch path; bit-identical to per-sample
+    /// quantize() — the kernel is elementwise on every backend).
     [[nodiscard]] std::vector<double> process(std::span<const double> x) const;
+
+    /// Quantise a record with a front-end attenuator applied first:
+    /// out[k] = quantize(scale·x[k]).  The BP-TIADC capture path.
+    [[nodiscard]] std::vector<double>
+    process_scaled(std::span<const double> x, double scale) const;
 
     /// LSB size.
     [[nodiscard]] double lsb() const { return lsb_; }
@@ -37,6 +47,8 @@ public:
 private:
     quantizer_config config_;
     double lsb_;
+    simd::quantize_params params_; ///< precomputed kernel parameters
+    const simd::kernel_ops* ops_;  ///< backend captured at construction
 };
 
 } // namespace sdrbist::adc

@@ -91,15 +91,10 @@ bp_tiadc::capture_divided(const rf::passband_signal& x, double t_start,
     cap.t_start = t_start;
     cap.true_delay_s = d_true;
     // Whole-record batch evaluation: one signal request per channel
-    // instead of one virtual call per instant.
-    const auto x0 = x.values(t0);
-    const auto x1 = x.values(t1);
-    cap.even.resize(n);
-    cap.odd.resize(n);
-    for (std::size_t k = 0; k < n; ++k) {
-        cap.even[k] = quant0_.quantize(input_scale_ * x0[k]);
-        cap.odd[k] = quant1_.quantize(input_scale_ * x1[k]);
-    }
+    // instead of one virtual call per instant, then one SIMD quantisation
+    // pass per record.
+    cap.even = quant0_.process_scaled(x.values(t0), input_scale_);
+    cap.odd = quant1_.process_scaled(x.values(t1), input_scale_);
     return cap;
 }
 

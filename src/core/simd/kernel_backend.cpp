@@ -1,0 +1,136 @@
+/// \file kernel_backend.cpp
+/// \brief Backend registry, CPU feature detection and runtime dispatch.
+
+#include "core/simd/kernel_backend.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+#include "core/contracts.hpp"
+
+namespace sdrbist::simd {
+
+namespace {
+
+/// Cached selection; nullptr until the first select()/force().
+std::atomic<const kernel_ops*> g_active{nullptr};
+
+/// Name of the override environment variable (also documented in README).
+constexpr const char* env_override = "SDRBIST_FORCE_BACKEND";
+
+/// Render the compiled-in backend names for error messages.
+std::string known_backends() {
+    std::string out;
+    for (const auto* ops : kernel_backend::compiled()) {
+        if (!out.empty())
+            out += ", ";
+        out += ops->name;
+    }
+    return out;
+}
+
+/// Can a CPU with features `f` run this backend?
+bool usable_with(const kernel_ops& ops, const cpu_features& f) {
+    const std::string_view name = ops.name;
+    if (name == "scalar")
+        return true;
+    if (name == "avx2")
+        return f.avx2;
+    if (name == "neon")
+        return f.neon;
+    return false;
+}
+
+/// Look up `name` and validate it against the executing CPU; throws
+/// contract_violation with an actionable message otherwise.
+const kernel_ops& checked_lookup(std::string_view name) {
+    const kernel_ops* ops = kernel_backend::find(name);
+    if (ops == nullptr)
+        throw contract_violation("unknown kernel backend '" +
+                                 std::string(name) +
+                                 "' (compiled-in backends: " +
+                                 known_backends() + ")");
+    if (!kernel_backend::supported(*ops))
+        throw contract_violation("kernel backend '" + std::string(name) +
+                                 "' is not supported by this CPU");
+    return *ops;
+}
+
+} // namespace
+
+cpu_features kernel_backend::detect() {
+    cpu_features f;
+#if defined(__x86_64__) || defined(__i386__)
+    f.avx2 = __builtin_cpu_supports("avx2") != 0 &&
+             __builtin_cpu_supports("fma") != 0;
+#endif
+#if defined(__aarch64__)
+    f.neon = true; // Advanced SIMD is mandatory on AArch64
+#endif
+    return f;
+}
+
+const kernel_ops& kernel_backend::resolve(const cpu_features& f) {
+    const kernel_ops* best = &scalar_ops();
+    for (const auto* ops : compiled())
+        if (usable_with(*ops, f) && ops->priority > best->priority)
+            best = ops;
+    return *best;
+}
+
+const kernel_ops* kernel_backend::find(std::string_view name) {
+    for (const auto* ops : compiled())
+        if (name == ops->name)
+            return ops;
+    return nullptr;
+}
+
+std::vector<const kernel_ops*> kernel_backend::compiled() {
+    std::vector<const kernel_ops*> v{&scalar_ops()};
+#if defined(SDRBIST_SIMD_AVX2)
+    v.push_back(&avx2_ops());
+#endif
+#if defined(SDRBIST_SIMD_NEON)
+    v.push_back(&neon_ops());
+#endif
+    return v;
+}
+
+std::vector<const kernel_ops*> kernel_backend::available() {
+    std::vector<const kernel_ops*> v;
+    for (const auto* ops : compiled())
+        if (supported(*ops))
+            v.push_back(ops);
+    return v;
+}
+
+bool kernel_backend::supported(const kernel_ops& ops) {
+    return usable_with(ops, detect());
+}
+
+const kernel_ops& kernel_backend::select() {
+    const kernel_ops* cur = g_active.load(std::memory_order_acquire);
+    if (cur != nullptr)
+        return *cur;
+    const char* env = std::getenv(env_override);
+    const kernel_ops* chosen = (env != nullptr && *env != '\0')
+                                   ? &checked_lookup(env)
+                                   : &resolve(detect());
+    // Concurrent first calls must agree: first CAS wins.
+    const kernel_ops* expected = nullptr;
+    if (g_active.compare_exchange_strong(expected, chosen,
+                                         std::memory_order_acq_rel))
+        return *chosen;
+    return *expected;
+}
+
+void kernel_backend::force(std::string_view name) {
+    g_active.store(&checked_lookup(name), std::memory_order_release);
+}
+
+void kernel_backend::reset() {
+    g_active.store(nullptr, std::memory_order_release);
+}
+
+} // namespace sdrbist::simd

@@ -4,16 +4,36 @@
 #include <cmath>
 
 #include "core/math_util.hpp"
+#include "core/simd/kernel_backend.hpp"
 #include "dsp/window.hpp"
 
 namespace sdrbist::dsp {
+
+namespace {
+
+/// Dispatch the blended tap loop to the backend entry matching T.
+inline double backend_blend(const simd::kernel_ops& ops, const double* x,
+                            const double* rows, std::size_t stride,
+                            const double* w, std::size_t n) {
+    return ops.blend_dot(x, rows, stride, w, n);
+}
+
+inline std::complex<double>
+backend_blend(const simd::kernel_ops& ops, const std::complex<double>* x,
+              const double* rows, std::size_t stride, const double* w,
+              std::size_t n) {
+    return ops.blend_dot_cplx(x, rows, stride, w, n);
+}
+
+} // namespace
 
 template <class T>
 sinc_interpolator<T>::sinc_interpolator(std::vector<T> samples, double rate,
                                         std::size_t half_taps, double beta,
                                         std::size_t phase_steps)
     : samples_(std::move(samples)), rate_(rate), half_taps_(half_taps),
-      beta_(beta), phase_steps_(phase_steps) {
+      beta_(beta), phase_steps_(phase_steps),
+      ops_(&simd::kernel_backend::select()) {
     SDRBIST_EXPECTS(rate_ > 0.0);
     SDRBIST_EXPECTS(half_taps_ >= 4);
     SDRBIST_EXPECTS(samples_.size() > 2 * half_taps_);
@@ -88,26 +108,20 @@ template <class T> T sinc_interpolator<T>::eval(double pos) const {
 
     const std::size_t stride = 2 * half_taps_;
     const double* r0 = lut_.data() + p * stride;
-    const double* r1 = r0 + stride;
-    const double* r2 = r1 + stride;
-    const double* r3 = r2 + stride;
 
-    // Range checks hoisted out of the tap loop: clamp once, then run a
-    // branch-free contiguous accumulation (the interior case covers the
-    // full 2·half_taps window).
+    // Range checks hoisted out of the tap loop: clamp once, then hand the
+    // backend one branch-free contiguous blended dot product (the interior
+    // case covers the full 2·half_taps window).
     const long lo = centre - half + 1;
     const long n0 = std::max(lo, 0L);
     const long n1 = std::min(centre + half, n_samples - 1);
+    if (n1 < n0)
+        return T{};
 
-    T acc{};
-    const T* xs = samples_.data();
-    for (long n = n0; n <= n1; ++n) {
-        const auto c = static_cast<std::size_t>(n - lo);
-        const double coeff =
-            w0 * r0[c] + w1 * r1[c] + w2 * r2[c] + w3 * r3[c];
-        acc += xs[n] * coeff;
-    }
-    return acc;
+    const double w[4] = {w0, w1, w2, w3};
+    return backend_blend(*ops_, samples_.data() + n0,
+                         r0 + static_cast<std::size_t>(n0 - lo), stride, w,
+                         static_cast<std::size_t>(n1 - n0 + 1));
 }
 
 template <class T> T sinc_interpolator<T>::at_reference(double t) const {

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/contracts.hpp"
+#include "core/simd/kernel_backend.hpp"
 #include "core/units.hpp"
 
 namespace sdrbist::rf {
@@ -19,7 +20,7 @@ envelope_passband::envelope_passband(
     std::vector<std::complex<double>> envelope, double envelope_rate,
     double carrier_hz, std::size_t interp_half_taps)
     : interp_(std::move(envelope), envelope_rate, interp_half_taps),
-      carrier_hz_(carrier_hz) {
+      carrier_hz_(carrier_hz), ops_(&simd::kernel_backend::select()) {
     SDRBIST_EXPECTS(carrier_hz_ > 0.0);
     // The envelope must be strictly oversampled for interpolation to hold.
     SDRBIST_EXPECTS(envelope_rate > 0.0);
@@ -27,19 +28,34 @@ envelope_passband::envelope_passband(
 
 double envelope_passband::value(double t) const {
     const std::complex<double> e = interp_.at(t);
-    // Re{E·e^{jwt}} with the carrier phase computed in full double precision.
+    // Re{E·e^{jwt}} with the carrier phase computed in full double
+    // precision.  The mix goes through the scalar kernel table so that
+    // per-instant and batch evaluation stay bit-identical on every
+    // architecture (the carrier_mix kernel is elementwise and
+    // bit-identical across backends).
     const double wt = two_pi * carrier_hz_ * t;
-    return e.real() * std::cos(wt) - e.imag() * std::sin(wt);
+    const double c = std::cos(wt);
+    const double s = std::sin(wt);
+    double out = 0.0;
+    simd::scalar_ops().carrier_mix(&e, &c, &s, &out, 1);
+    return out;
 }
 
 std::vector<double>
 envelope_passband::values(const std::vector<double>& t) const {
     const auto env = interp_.at(t); // batch LUT interpolation
-    std::vector<double> out(t.size());
+    // Carrier phase factors stay on scalar libm (no vector sincos in the
+    // baseline toolchain); the mix itself runs on the SIMD backend.
+    std::vector<double> cos_wt(t.size());
+    std::vector<double> sin_wt(t.size());
     for (std::size_t i = 0; i < t.size(); ++i) {
         const double wt = two_pi * carrier_hz_ * t[i];
-        out[i] = env[i].real() * std::cos(wt) - env[i].imag() * std::sin(wt);
+        cos_wt[i] = std::cos(wt);
+        sin_wt[i] = std::sin(wt);
     }
+    std::vector<double> out(t.size());
+    ops_->carrier_mix(env.data(), cos_wt.data(), sin_wt.data(), out.data(),
+                      t.size());
     return out;
 }
 

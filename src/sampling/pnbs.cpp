@@ -5,6 +5,7 @@
 
 #include "core/contracts.hpp"
 #include "core/math_util.hpp"
+#include "core/simd/kernel_backend.hpp"
 #include "core/units.hpp"
 #include "dsp/window.hpp"
 
@@ -134,7 +135,7 @@ pnbs_reconstructor::pnbs_reconstructor(std::vector<double> even,
                                        const pnbs_options& opt)
     : even_(std::move(even)), odd_(std::move(odd)), period_(period),
       t_start_(t_start), kernel_(band, delay_hypothesis), opt_(opt),
-      window_(opt.kaiser_beta) {
+      window_(opt.kaiser_beta), ops_(&simd::kernel_backend::select()) {
     SDRBIST_EXPECTS(period_ > 0.0);
     SDRBIST_EXPECTS(even_.size() == odd_.size());
     SDRBIST_EXPECTS(opt_.taps >= 5 && opt_.taps % 2 == 1);
@@ -286,15 +287,13 @@ double pnbs_reconstructor::value(double t) const {
         }
     }
 
-    // Stage 2: two contiguous dot products (auto-vectorisable).
+    // Stage 2: the fused even/odd pair of contiguous dot products, run on
+    // the dispatched SIMD backend.
     const double* ev = even_.data() + (centre + j_lo);
     const double* od = odd_.data() + (centre + j_lo);
     double acc_e = 0.0;
     double acc_o = 0.0;
-    for (std::size_t i = 0; i < count; ++i)
-        acc_e += ev[i] * ce[i];
-    for (std::size_t i = 0; i < count; ++i)
-        acc_o += od[i] * co[i];
+    ops_->dot2(ev, ce, od, co, count, &acc_e, &acc_o);
     return acc_e + acc_o;
 }
 

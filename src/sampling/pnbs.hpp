@@ -11,6 +11,10 @@
 #include "dsp/window.hpp"
 #include "sampling/band.hpp"
 
+namespace sdrbist::simd {
+struct kernel_ops;
+}
+
 namespace sdrbist::sampling {
 
 /// Kohlenberg second-order interpolation kernel s(t) = s0(t) + s1(t) for a
@@ -155,6 +159,10 @@ public:
     [[nodiscard]] const kohlenberg_kernel& kernel() const { return kernel_; }
     [[nodiscard]] double period() const { return period_; }
 
+    /// SIMD kernel backend running the stage-2 dot products (captured from
+    /// simd::kernel_backend::select() at construction).
+    [[nodiscard]] const simd::kernel_ops& backend() const { return *ops_; }
+
 private:
     std::vector<double> even_;
     std::vector<double> odd_;
@@ -163,6 +171,7 @@ private:
     kohlenberg_kernel kernel_;
     pnbs_options opt_;
     dsp::kaiser_lut window_; ///< shared continuous Kaiser window LUT
+    const simd::kernel_ops* ops_;
 
     // Fused fast-path constants (derived from the kernel in the ctor).
     long half_ = 0;          ///< taps / 2
