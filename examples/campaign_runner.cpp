@@ -1,14 +1,19 @@
 /// \file campaign_runner.cpp
 /// \brief Production-style campaign CLI: expand a standard × fault ×
-///        Monte-Carlo grid, execute it on a thread pool, print the
-///        fault-coverage matrix and export structured artefacts.
+///        Monte-Carlo grid, execute it on a thread pool with stage-shared
+///        scenario pipelines, print the fault-coverage matrix and export
+///        structured artefacts.  Also merges shard result files from
+///        independent processes and manages the scenario result cache.
 ///
 /// Examples:
 ///   campaign_runner --trials 3 --threads 8 --json campaign.json
 ///   campaign_runner --presets paper-qpsk-10M,dqpsk-1M
 ///                   --faults none,pa-gain-drop --csv coverage.csv
 ///   campaign_runner --trials 8 --cache-dir .campaign-cache
-///                   --shard 0/3 --jsonl shard0.jsonl
+///                   --shard 0/3 --jsonl shard0.jsonl --shard-out s0.json
+///   campaign_runner --merge s0.json s1.json s2.json --json merged.json
+///   campaign_runner cache-stats .campaign-cache
+///   campaign_runner cache-gc .campaign-cache
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -17,8 +22,10 @@
 #include <string>
 #include <vector>
 
+#include "campaign/cache.hpp"
 #include "campaign/campaign.hpp"
 #include "campaign/export.hpp"
+#include "campaign/shard_io.hpp"
 #include "core/simd/kernel_backend.hpp"
 #include "core/table.hpp"
 #include "core/units.hpp"
@@ -71,22 +78,32 @@ double parse_double(const std::string& option, const std::string& text) {
 }
 
 bist::fault_kind fault_by_name(const std::string& name) {
-    for (const auto f : bist::fault_catalogue())
-        if (bist::to_string(f) == name)
-            return f;
-    std::cerr << "unknown fault: " << name << "\nknown faults:";
-    for (const auto f : bist::fault_catalogue())
-        std::cerr << ' ' << bist::to_string(f);
-    std::cerr << '\n';
-    std::exit(2);
+    try {
+        return bist::fault_from_string(name);
+    } catch (const std::exception&) {
+        std::cerr << "unknown fault: " << name << "\nknown faults:";
+        for (const auto f : bist::fault_catalogue())
+            std::cerr << ' ' << bist::to_string(f);
+        std::cerr << '\n';
+        std::exit(2);
+    }
 }
 
 void usage() {
     std::cout <<
         "usage: campaign_runner [options]\n"
+        "       campaign_runner --merge shard0.json shard1.json ... [export "
+        "options]\n"
+        "       campaign_runner cache-stats <dir>\n"
+        "       campaign_runner cache-gc <dir>\n"
         "  --presets a,b,c   presets to grade (default: whole catalogue)\n"
         "  --faults a,b      faults to inject (default: whole catalogue)\n"
         "  --trials N        Monte-Carlo trials per cell (default 1)\n"
+        "  --reseed MODE     what trials rerandomise: device (fresh device\n"
+        "                    seeds + perturbations, default), probes (fresh\n"
+        "                    probe draw on one fixed device; upstream\n"
+        "                    pipeline stages then shared across trials),\n"
+        "                    off (legacy: every scenario keeps base seeds)\n"
         "  --threads N       worker threads (default: hardware)\n"
         "  --seed S          campaign master seed\n"
         "  --jitter-sigma X  log-normal per-trial jitter spread\n"
@@ -94,9 +111,14 @@ void usage() {
         "  --backend NAME    force the SIMD kernel backend (scalar, avx2,\n"
         "                    neon; default: best the CPU supports, or the\n"
         "                    SDRBIST_FORCE_BACKEND environment variable)\n"
-        "  --shard i/N       grade only shard i of N (grid index mod N);\n"
-        "                    shards sharing --cache-dir merge via a final\n"
-        "                    unsharded run that reads everything from cache\n"
+        "  --stage-sharing S deepest pipeline stage pooled across scenarios\n"
+        "                    that provably need the same result: off,\n"
+        "                    stimulus, tx-capture, calibration,\n"
+        "                    reconstruction (default)\n"
+        "  --shard i/N       grade only shard i of N (grid index mod N)\n"
+        "  --shard-out PATH  write this run's full-fidelity result file\n"
+        "                    (the --merge input; no shared cache needed)\n"
+        "  --merge F...      merge shard result files instead of running\n"
         "  --cache-dir PATH  scenario result cache: rerunning an\n"
         "                    overlapping grid skips graded scenarios\n"
         "  --json PATH       write the full campaign JSON\n"
@@ -104,6 +126,11 @@ void usage() {
         "  --scenarios PATH  write the per-scenario CSV\n"
         "  --jsonl PATH      stream per-scenario JSONL rows as they\n"
         "                    complete (grid-order-restored on exit)\n"
+        "  --no-timing       suppress measured fields (timing, thread and\n"
+        "                    cache counters) in every export, making\n"
+        "                    artefacts byte-comparable across runs\n"
+        "  --list-presets    print the preset catalogue and exit\n"
+        "  --list-backends   print the SIMD kernel backends and exit\n"
         "  --help            this text\n";
 }
 
@@ -121,6 +148,82 @@ campaign::shard_spec parse_shard(const std::string& text) {
     std::exit(2);
 }
 
+campaign::reseed_policy parse_reseed(const std::string& text) {
+    if (text == "device")
+        return campaign::reseed_policy::device;
+    if (text == "probes")
+        return campaign::reseed_policy::probes;
+    if (text == "off")
+        return campaign::reseed_policy::off;
+    std::cerr << "--reseed needs device|probes|off, got '" << text << "'\n";
+    std::exit(2);
+}
+
+std::optional<bist::stage> parse_stage_sharing(const std::string& text) {
+    if (text == "off")
+        return std::nullopt;
+    for (const bist::stage s :
+         {bist::stage::stimulus, bist::stage::tx_capture,
+          bist::stage::calibration, bist::stage::reconstruction})
+        if (bist::to_string(s) == text)
+            return s;
+    std::cerr << "--stage-sharing needs off|stimulus|tx-capture|calibration|"
+                 "reconstruction, got '"
+              << text << "'\n";
+    std::exit(2);
+}
+
+int list_presets() {
+    text_table table({"preset", "modulation", "symbol rate [Msym/s]",
+                      "carrier [MHz]", "mask"});
+    table.set_title("standard preset catalogue");
+    for (const auto& p : waveform::standard_catalogue())
+        table.add_row({p.name, waveform::to_string(p.stimulus.mod),
+                       text_table::num(p.stimulus.symbol_rate / 1e6, 3),
+                       text_table::num(p.default_carrier_hz / 1e6, 1),
+                       p.mask.name()});
+    table.print(std::cout);
+    return 0;
+}
+
+int list_backends() {
+    const auto& active = simd::kernel_backend::select();
+    std::cout << "SIMD kernel backends (compiled in):\n";
+    for (const auto* ops : simd::kernel_backend::compiled()) {
+        std::cout << "  " << ops->name;
+        if (!simd::kernel_backend::supported(*ops))
+            std::cout << "  [not supported by this CPU]";
+        else if (ops->name == std::string_view(active.name))
+            std::cout << "  [active]";
+        std::cout << "\n";
+    }
+    return 0;
+}
+
+int cache_stats_cmd(const std::string& dir) {
+    const auto stats = campaign::scan_cache_dir(dir);
+    std::cout << "cache " << dir << ": " << stats.files() << " files, "
+              << stats.bytes << " bytes\n"
+              << "  entries (current version): " << stats.entries << "\n"
+              << "  version-skewed:            " << stats.stale << "\n"
+              << "  corrupt:                   " << stats.corrupt << "\n"
+              << "  stray temp files:          " << stats.stray_tmp << "\n";
+    if (!stats.version_histogram.empty()) {
+        std::cout << "  version histogram:\n";
+        for (const auto& [version, count] : stats.version_histogram)
+            std::cout << "    v" << version << ": " << count << "\n";
+    }
+    return 0;
+}
+
+int cache_gc_cmd(const std::string& dir) {
+    const auto gc = campaign::gc_cache_dir(dir);
+    std::cout << "cache-gc " << dir << ": scanned " << gc.scanned
+              << ", removed " << gc.removed << " (" << gc.bytes_freed
+              << " bytes), kept " << gc.kept << "\n";
+    return 0;
+}
+
 int run_cli(int argc, char** argv);
 
 } // namespace
@@ -136,13 +239,106 @@ int main(int argc, char** argv) {
 
 namespace {
 
+/// Everything after the run/merge: summary table, stdout stats, exports.
+int report_and_export(const campaign::campaign_result& result,
+                      const campaign::campaign_config& cfg,
+                      const campaign::export_options& opt,
+                      const std::string& json_path,
+                      const std::string& csv_path,
+                      const std::string& scenarios_path,
+                      const std::string& shard_out_path,
+                      const std::string& jsonl_path = {}) {
+    campaign::coverage_table(result).print(std::cout);
+    std::cout << "\nyield (golden pass rate):  "
+              << text_table::num(100.0 * result.yield(), 1) << " %  ("
+              << result.golden_passes << "/" << result.golden_runs << ")\n"
+              << "fault coverage:            "
+              << text_table::num(100.0 * result.coverage(), 1) << " %  ("
+              << result.fault_detected << "/" << result.fault_runs << ")\n"
+              << "escape rate:               "
+              << text_table::num(100.0 * result.escape_rate(), 1) << " %\n"
+              << "threads:                   " << result.threads_used << "\n"
+              << "wall time:                 "
+              << text_table::num(result.wall_s, 2) << " s  ("
+              << text_table::num(result.scenarios_per_second(), 2)
+              << " scenarios/s)\n";
+    if (result.shard_count > 1)
+        std::cout << "shard:                     " << result.shard_index
+                  << "/" << result.shard_count << "  ("
+                  << result.results.size() << " of " << result.grid_size
+                  << " scenarios)\n";
+    if (!cfg.cache_dir.empty())
+        // Format relied upon by CI (warm-run assertion greps this line).
+        std::cout << "cache:                     " << result.cache_hits
+                  << " hits, " << result.cache_misses << " misses\n";
+    if (result.stage_reuse_hits + result.stage_reuse_computes > 0)
+        std::cout << "stage reuse:               " << result.stage_reuse_hits
+                  << " adopted, " << result.stage_reuse_computes
+                  << " computed\n";
+
+    bool engine_errors = false;
+    for (const auto& r : result.results)
+        if (r.engine_error) {
+            engine_errors = true;
+            std::cerr << "engine error in scenario " << r.sc.index << " ("
+                      << r.sc.preset_name << ", "
+                      << bist::to_string(r.sc.fault) << "): " << r.error
+                      << "\n";
+        }
+
+    auto write_file = [](const std::string& path, const std::string& body) {
+        std::ofstream out(path, std::ios::binary);
+        out << body;
+        out.flush();
+        if (!out.good()) {
+            std::cerr << "cannot write " << path << "\n";
+            std::exit(1);
+        }
+        std::cout << "wrote " << path << "\n";
+    };
+    if (!json_path.empty())
+        write_file(json_path, campaign::to_json(result, opt));
+    if (!csv_path.empty())
+        write_file(csv_path, campaign::coverage_csv(result));
+    if (!scenarios_path.empty())
+        write_file(scenarios_path, campaign::scenarios_csv(result, opt));
+    // Only for results without a live jsonl_stream (merge mode): the
+    // one-shot exporter is byte-identical to a finalised stream.
+    if (!jsonl_path.empty())
+        write_file(jsonl_path, campaign::scenarios_jsonl(result, opt));
+    if (!shard_out_path.empty()) {
+        if (!campaign::write_result_file(shard_out_path, result)) {
+            std::cerr << "cannot write " << shard_out_path << "\n";
+            std::exit(1);
+        }
+        std::cout << "wrote " << shard_out_path << "\n";
+    }
+
+    return engine_errors ? 1 : 0;
+}
+
 int run_cli(int argc, char** argv) {
+    // Cache maintenance subcommands.
+    if (argc >= 2 && (std::string(argv[1]) == "cache-stats" ||
+                      std::string(argv[1]) == "cache-gc")) {
+        const std::string sub = argv[1];
+        if (argc != 3) {
+            std::cerr << sub << " needs exactly one cache directory\n";
+            return 2;
+        }
+        return sub == "cache-stats" ? cache_stats_cmd(argv[2])
+                                    : cache_gc_cmd(argv[2]);
+    }
+
     campaign::campaign_config cfg;
     cfg.base.tiadc.quant.full_scale = 2.0;
     cfg.base.min_output_rms = 1.2; // PA-health floor so gain faults count
 
-    std::string json_path, csv_path, scenarios_path, jsonl_path;
-    std::vector<std::string> preset_names, fault_names;
+    std::string json_path, csv_path, scenarios_path, jsonl_path,
+        shard_out_path;
+    std::vector<std::string> preset_names, fault_names, merge_paths;
+    bool merge_mode = false;
+    campaign::export_options export_opt;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -156,12 +352,18 @@ int run_cli(int argc, char** argv) {
         if (arg == "--help" || arg == "-h") {
             usage();
             return 0;
+        } else if (arg == "--list-presets") {
+            return list_presets();
+        } else if (arg == "--list-backends") {
+            return list_backends();
         } else if (arg == "--presets") {
             preset_names = split_csv_list(value());
         } else if (arg == "--faults") {
             fault_names = split_csv_list(value());
         } else if (arg == "--trials") {
             cfg.trials = parse_count(arg, value());
+        } else if (arg == "--reseed") {
+            cfg.reseed = parse_reseed(value());
         } else if (arg == "--threads") {
             cfg.threads = parse_count(arg, value());
         } else if (arg == "--seed") {
@@ -174,8 +376,14 @@ int run_cli(int argc, char** argv) {
             // Force before any engine object captures the dispatched table;
             // unknown/unsupported names throw (caught in main, exit 2).
             simd::kernel_backend::force(value());
+        } else if (arg == "--stage-sharing") {
+            cfg.stage_sharing = parse_stage_sharing(value());
         } else if (arg == "--shard") {
             cfg.shard = parse_shard(value());
+        } else if (arg == "--shard-out") {
+            shard_out_path = value();
+        } else if (arg == "--merge") {
+            merge_mode = true;
         } else if (arg == "--cache-dir") {
             cfg.cache_dir = value();
         } else if (arg == "--json") {
@@ -186,11 +394,32 @@ int run_cli(int argc, char** argv) {
             scenarios_path = value();
         } else if (arg == "--jsonl") {
             jsonl_path = value();
+        } else if (arg == "--no-timing") {
+            export_opt.include_timing = false;
+        } else if (merge_mode && !arg.empty() && arg[0] != '-') {
+            merge_paths.push_back(arg);
         } else {
             std::cerr << "unknown option: " << arg << "\n";
             usage();
             return 2;
         }
+    }
+
+    // ---- merge mode: recombine shard result files, no engine runs ---------
+    if (merge_mode) {
+        if (merge_paths.size() < 2) {
+            std::cerr << "--merge needs at least two shard files\n";
+            return 2;
+        }
+        std::vector<campaign::campaign_result> shards;
+        shards.reserve(merge_paths.size());
+        for (const auto& path : merge_paths)
+            shards.push_back(campaign::read_result_file(path));
+        const auto merged = campaign::merge_results(shards);
+        std::cout << "merged " << merge_paths.size() << " shards: "
+                  << merged.scenario_count() << " scenarios\n\n";
+        return report_and_export(merged, cfg, export_opt, json_path, csv_path,
+                                 scenarios_path, shard_out_path, jsonl_path);
     }
 
     if (!preset_names.empty()) {
@@ -218,7 +447,8 @@ int run_cli(int argc, char** argv) {
     std::unique_ptr<campaign::jsonl_stream> jsonl;
     campaign::run_hooks hooks;
     if (!jsonl_path.empty()) {
-        jsonl = std::make_unique<campaign::jsonl_stream>(jsonl_path);
+        jsonl = std::make_unique<campaign::jsonl_stream>(jsonl_path,
+                                                         export_opt);
         hooks.on_scenario = [&](const campaign::scenario_result& r) {
             jsonl->append(r);
         };
@@ -232,58 +462,8 @@ int run_cli(int argc, char** argv) {
                   << " rows, streamed)\n";
     }
 
-    campaign::coverage_table(result).print(std::cout);
-    std::cout << "\nyield (golden pass rate):  "
-              << text_table::num(100.0 * result.yield(), 1) << " %  ("
-              << result.golden_passes << "/" << result.golden_runs << ")\n"
-              << "fault coverage:            "
-              << text_table::num(100.0 * result.coverage(), 1) << " %  ("
-              << result.fault_detected << "/" << result.fault_runs << ")\n"
-              << "escape rate:               "
-              << text_table::num(100.0 * result.escape_rate(), 1) << " %\n"
-              << "threads:                   " << result.threads_used << "\n"
-              << "wall time:                 "
-              << text_table::num(result.wall_s, 2) << " s  ("
-              << text_table::num(result.scenarios_per_second(), 2)
-              << " scenarios/s)\n";
-    if (result.shard_count > 1)
-        std::cout << "shard:                     " << result.shard_index
-                  << "/" << result.shard_count << "  ("
-                  << result.results.size() << " of " << result.grid_size
-                  << " scenarios)\n";
-    if (!cfg.cache_dir.empty())
-        // Format relied upon by CI (warm-run assertion greps this line).
-        std::cout << "cache:                     " << result.cache_hits
-                  << " hits, " << result.cache_misses << " misses\n";
-
-    bool engine_errors = false;
-    for (const auto& r : result.results)
-        if (r.engine_error) {
-            engine_errors = true;
-            std::cerr << "engine error in scenario " << r.sc.index << " ("
-                      << r.sc.preset_name << ", "
-                      << bist::to_string(r.sc.fault) << "): " << r.error
-                      << "\n";
-        }
-
-    auto write_file = [](const std::string& path, const std::string& body) {
-        std::ofstream out(path, std::ios::binary);
-        out << body;
-        out.flush();
-        if (!out.good()) {
-            std::cerr << "cannot write " << path << "\n";
-            std::exit(1);
-        }
-        std::cout << "wrote " << path << "\n";
-    };
-    if (!json_path.empty())
-        write_file(json_path, campaign::to_json(result));
-    if (!csv_path.empty())
-        write_file(csv_path, campaign::coverage_csv(result));
-    if (!scenarios_path.empty())
-        write_file(scenarios_path, campaign::scenarios_csv(result));
-
-    return engine_errors ? 1 : 0;
+    return report_and_export(result, cfg, export_opt, json_path, csv_path,
+                             scenarios_path, shard_out_path);
 }
 
 } // namespace

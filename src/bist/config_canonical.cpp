@@ -170,4 +170,95 @@ std::uint64_t config_digest(const bist_config& config) {
     return fnv1a64::hash(canonical_config_text(config));
 }
 
+// ---------------------------------------------------------------------------
+// Per-stage slices
+// ---------------------------------------------------------------------------
+
+std::string canonical_stage_text(const bist_config& config, stage s) {
+    canonical_writer w;
+    w.integer("stage_canon", stage_canonical_version);
+    w.text("stage", to_string(s));
+    switch (s) {
+    case stage::stimulus:
+        // Waveform generation + band planning.  The preset name and mask
+        // are presentation/grading concerns — excluded on purpose, so
+        // Monte-Carlo trials whose mask was relaxed to a perturbed jitter
+        // floor still share this stage.
+        write_generator(w, "preset.stimulus", config.preset.stimulus);
+        w.real("preset.default_carrier_hz", config.preset.default_carrier_hz);
+        w.boolean("use_calibration_stimulus",
+                  config.use_calibration_stimulus);
+        write_generator(w, "calibration_stimulus",
+                        config.calibration_stimulus);
+        w.real("tiadc.channel_rate_hz", config.tiadc.channel_rate_hz);
+        w.unsigned_integer("slow_divider", config.slow_divider);
+        break;
+    case stage::tx_capture:
+        // DUT transmission, band-select filtering, ranging and the
+        // dual-rate estimation captures.
+        write_tx(w, config.tx);
+        write_tiadc(w, config.tiadc);
+        w.real("dcde_target_delay_s", config.dcde_target_delay_s);
+        w.unsigned_integer("fast_samples", config.fast_samples);
+        w.real("capture_start_s", config.capture_start_s);
+        w.integer("capture_filter_order", config.capture_filter_order);
+        w.real("capture_filter_halfwidth_hz",
+               config.capture_filter_halfwidth_hz);
+        w.real("spectrum_filter_halfwidth_hz",
+               config.spectrum_filter_halfwidth_hz);
+        w.boolean("auto_range", config.auto_range);
+        break;
+    case stage::calibration:
+        // Probe placement + the LMS search (its reconstruction options
+        // are also the ones stage 4 reuses).
+        w.unsigned_integer("probe_count", config.probe_count);
+        w.unsigned_integer("probe_seed", config.probe_seed);
+        w.real("d0_hint_s", config.d0_hint_s);
+        w.real("lms.mu0", config.lms.mu0);
+        w.unsigned_integer("lms.max_iterations", config.lms.max_iterations);
+        w.real("lms.cost_tolerance", config.lms.cost_tolerance);
+        w.real("lms.min_mu", config.lms.min_mu);
+        w.real("lms.step_tolerance", config.lms.step_tolerance);
+        w.real("lms.initial_probe_s", config.lms.initial_probe_s);
+        w.unsigned_integer("lms.max_halvings", config.lms.max_halvings);
+        w.unsigned_integer("lms.recon.taps", config.lms.recon.taps);
+        w.real("lms.recon.kaiser_beta", config.lms.recon.kaiser_beta);
+        break;
+    case stage::reconstruction:
+        // Spectrum capture + dense PNBS evaluation (welch_segment is a
+        // grading knob; everything else it reads is upstream).
+        w.real("spectrum.dense_rate_factor",
+               config.spectrum.dense_rate_factor);
+        w.real("spectrum.envelope_rate_min",
+               config.spectrum.envelope_rate_min);
+        w.unsigned_integer("spectrum.ddc_taps", config.spectrum.ddc_taps);
+        w.real("spectrum.ddc_cutoff_hz", config.spectrum.ddc_cutoff_hz);
+        w.real("spectrum.mix_frequency", config.spectrum.mix_frequency);
+        break;
+    case stage::grading:
+        write_mask(w, "preset.mask", config.preset.mask);
+        w.real("preset.acpr_offset_hz", config.preset.acpr_offset_hz);
+        w.unsigned_integer("spectrum.welch_segment",
+                           config.spectrum.welch_segment);
+        w.real("evm_limit_percent", config.evm_limit_percent);
+        w.real("min_output_rms", config.min_output_rms);
+        w.real("acpr_limit_dbc", config.acpr_limit_dbc);
+        w.real("acpr_offset_hz", config.acpr_offset_hz);
+        break;
+    }
+    return w.str();
+}
+
+std::uint64_t stage_input_digest(const bist_config& config, stage s) {
+    fnv1a64 h;
+    h.update("sdrbist-stage-chain-v" +
+             std::to_string(stage_canonical_version) + "\n");
+    for (const stage t : stage_order) {
+        h.update(canonical_stage_text(config, t));
+        if (t == s)
+            break;
+    }
+    return h.value();
+}
+
 } // namespace sdrbist::bist

@@ -22,6 +22,7 @@
 #include <string>
 
 #include "bist/engine.hpp"
+#include "bist/stages.hpp"
 
 namespace sdrbist::bist {
 
@@ -35,5 +36,37 @@ inline constexpr int canonical_config_version = 1;
 /// the campaign cache mixes this with grid coordinates, see
 /// campaign/cache.hpp).
 [[nodiscard]] std::uint64_t config_digest(const bist_config& config);
+
+// ---------------------------------------------------------------------------
+// Per-stage canonical slices (the staged pipeline, bist/pipeline.hpp).
+//
+// Each pipeline stage consumes a subset of the configuration.  Its
+// canonical *slice* renders exactly that subset (same rules as the full
+// canonical form), and the stage *input digest* chains the slices of the
+// stage and everything upstream of it.  Two configurations with equal
+// input digests for a stage are guaranteed to produce bit-identical stage
+// outputs — the invariant `campaign_runner` relies on to share upstream
+// stage results across scenarios that only differ downstream.
+//
+// The slices deliberately key *computation*, not presentation: cosmetic
+// fields the stage never reads (e.g. the preset *name*) are excluded, so
+// renamed-but-identical presets still share work.  Over-keying a slice
+// costs sharing; under-keying is a correctness bug — any new config field
+// must be added to the slice of every stage that reads it, and any change
+// here MUST bump `stage_canonical_version`.
+// ---------------------------------------------------------------------------
+
+/// Version of the stage-slice serialisation (field assignment + rendering).
+inline constexpr int stage_canonical_version = 1;
+
+/// Canonical text of the configuration subset stage `s` consumes directly
+/// (upstream fields are covered by the upstream stages' slices).
+[[nodiscard]] std::string canonical_stage_text(const bist_config& config,
+                                               stage s);
+
+/// FNV-1a digest over the canonical slices of `s` and every stage before
+/// it — the content hash of everything that determines `s`'s output.
+[[nodiscard]] std::uint64_t stage_input_digest(const bist_config& config,
+                                               stage s);
 
 } // namespace sdrbist::bist

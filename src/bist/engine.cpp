@@ -1,11 +1,7 @@
 #include "bist/engine.hpp"
 
-#include <cmath>
-
+#include "bist/pipeline.hpp"
 #include "core/contracts.hpp"
-#include "core/stats.hpp"
-#include "core/units.hpp"
-#include "dsp/biquad.hpp"
 
 namespace sdrbist::bist {
 
@@ -26,256 +22,17 @@ bist_engine::bist_engine(bist_config config) : config_(std::move(config)) {
     SDRBIST_EXPECTS(config_.probe_count >= 16);
 }
 
-namespace {
-
-double occupied_bandwidth(const waveform::generator_config& g) {
-    return g.symbol_rate * (1.0 + g.rolloff);
-}
-
-} // namespace
-
 std::pair<bist_report, bist_artifacts> bist_engine::run_verbose() const {
-    bist_report report;
-    bist_artifacts art;
-
-    const double nominal_carrier = config_.preset.default_carrier_hz;
-    const double b = config_.tiadc.channel_rate_hz;
-    const double b1 = b / static_cast<double>(config_.slow_divider);
-
-    report.preset_name = config_.preset.name;
-    report.evm_limit_percent = config_.evm_limit_percent;
-
-    // 1. Stimuli (repeatable: PRBS-seeded).  The graded waveform is the
-    // preset's; skew calibration uses a wideband waveform whose occupied
-    // band is scaled to the slow capture band.
-    art.stimulus = waveform::generate_baseband(config_.preset.stimulus);
-    waveform::generator_config cal_cfg = config_.use_calibration_stimulus
-                                             ? config_.calibration_stimulus
-                                             : config_.preset.stimulus;
-    if (config_.use_calibration_stimulus &&
-        (occupied_bandwidth(cal_cfg) > 0.75 * b1))
-        cal_cfg.symbol_rate = 0.22 * b1 / (1.0 + cal_cfg.rolloff) * 1.5;
-    art.calibration = waveform::generate_baseband(cal_cfg);
-
-    // 2. Band plan (eq. (9) + numerical identifiability).  When every plan
-    // at the nominal carrier is blind (e.g. the carrier is a multiple of
-    // B1 so the skew-error image self-folds for both rates), the SDR's own
-    // agility is used: the BIST transmits its test waveforms on a slightly
-    // nudged carrier.
-    const double occ_cal = occupied_bandwidth(cal_cfg);
-    const double occ_graded = occupied_bandwidth(config_.preset.stimulus);
-    const double occ_max = std::max(occ_cal, occ_graded);
-    constexpr double disc_threshold = 1e-2;
-    calib::band_plan plan{};
-    double carrier = nominal_carrier;
-    {
-        double best_disc = -1.0;
-        calib::band_plan best_plan{};
-        double best_carrier = nominal_carrier;
-        for (const double frac :
-             {0.0, 0.25, -0.25, 0.125, -0.125, 0.375, -0.375}) {
-            const double cand_carrier = nominal_carrier + frac * b1;
-            const auto cand_plan = calib::choose_band_plan(
-                cand_carrier, b, b1, occ_cal, occ_max, disc_threshold);
-            const double disc = calib::dual_rate_discrimination(
-                cand_plan, cand_carrier, occ_cal);
-            if (disc > best_disc) {
-                best_disc = disc;
-                best_plan = cand_plan;
-                best_carrier = cand_carrier;
-            }
-            if (disc >= disc_threshold)
-                break;
-        }
-        plan = best_plan;
-        carrier = best_carrier;
-        report.plan_discrimination = best_disc;
-    }
-    report.carrier_hz = carrier;
-    report.carrier_nudge_hz = carrier - nominal_carrier;
-    report.slow_band_offset_hz = plan.slow_offset_hz;
-    report.fast_band_offset_hz = plan.fast_offset_hz;
-
-    // 3. Transmitter (device under test) runs both waveforms on the BIST
-    // carrier.
-    rf::tx_config txc = config_.tx;
-    txc.carrier_hz = carrier;
-    const rf::homodyne_tx tx(txc);
-    art.tx_out = tx.transmit(art.stimulus);
-    art.calibration_tx_out = tx.transmit(art.calibration);
-
-    auto filtered_input = [&](const rf::tx_output& source, double halfwidth) {
-        // Low-rate waveforms may be represented at an envelope rate below
-        // the capture bandwidth; the band filter then has nothing to remove
-        // and its cutoff is clamped inside the envelope's Nyquist range.
-        halfwidth = std::min(halfwidth, 0.4 * source.envelope_rate);
-        auto bpf = dsp::butterworth_lowpass(config_.capture_filter_order,
-                                            halfwidth, source.envelope_rate);
-        auto filtered = bpf.filter(std::span<const std::complex<double>>(
-            source.envelope.data(), source.envelope.size()));
-        return std::make_shared<rf::envelope_passband>(
-            std::move(filtered), source.envelope_rate, source.carrier_hz);
-    };
-    {
-        // The narrow filter (centred on the carrier) must keep everything
-        // inside whichever slow-band edge sits closest to the carrier.
-        const double slow_cover = b1 / 2.0 - std::abs(plan.slow_offset_hz);
-        const double narrow = config_.capture_filter_halfwidth_hz > 0.0
-                                  ? config_.capture_filter_halfwidth_hz
-                                  : std::min(0.42 * b1, 0.95 * slow_cover);
-        const double fast_cover = b / 2.0 - std::abs(plan.fast_offset_hz);
-        const double wide = config_.spectrum_filter_halfwidth_hz > 0.0
-                                ? config_.spectrum_filter_halfwidth_hz
-                                : 0.9 * fast_cover;
-        art.capture_input = filtered_input(art.calibration_tx_out, narrow);
-        art.spectrum_input = filtered_input(art.tx_out, wide);
-    }
-
-    adc::bp_tiadc sampler(config_.tiadc);
-    sampler.program_delay(config_.dcde_target_delay_s);
-    report.programmed_delay_s = config_.dcde_target_delay_s;
-
-    // 4. Estimation-phase dual-rate capture of the calibration waveform.
-    // Start after the pulse shaper's leading transient so the ranging scan
-    // and the record see the waveform at its steady level.
-    const double cal_ramp =
-        static_cast<double>(art.calibration.shaper_delay_samples) /
-        art.calibration.sample_rate;
-    const double cal_t_start =
-        config_.capture_start_s > 0.0
-            ? config_.capture_start_s
-            : art.capture_input->begin_time() + cal_ramp + 0.1 * us;
-    const std::size_t cal_samples = std::max(
-        config_.fast_samples,
-        static_cast<std::size_t>(
-            std::ceil(64.0 * b / cal_cfg.symbol_rate)));
-    SDRBIST_EXPECTS(cal_t_start + static_cast<double>(cal_samples) / b <
-                    art.capture_input->end_time());
-
-    if (config_.auto_range)
-        art.ranging =
-            sampler.auto_range(*art.capture_input, cal_t_start, cal_samples);
-
-    art.capture.fast = sampler.capture(*art.capture_input, cal_t_start,
-                                       cal_samples, /*capture*/ 0);
-    art.capture.slow = sampler.capture_divided(
-        *art.capture_input, cal_t_start, cal_samples / config_.slow_divider,
-        config_.slow_divider,
-        /*capture*/ 1);
-    art.capture.band_fast = plan.fast;
-    art.capture.band_slow = plan.slow;
-
-    // 5. Identifiability conditions (paper eq. (9)).
-    report.dual_rate_conditions_ok =
-        calib::dual_rate_conditions_ok(art.capture);
-    report.max_search_delay_s = calib::max_search_delay(art.capture);
-    if (!report.dual_rate_conditions_ok)
-        return {report, art};
-
-    // 6. LMS time-skew identification (paper Algorithm 1).
-    const auto [probe_lo, probe_hi] =
-        calib::valid_probe_interval(art.capture, config_.lms.recon);
-    rng probe_gen(config_.probe_seed);
-    art.probe_times = calib::make_probe_times(probe_gen, config_.probe_count,
-                                              probe_lo, probe_hi);
-    const double d0 = config_.d0_hint_s > 0.0
-                          ? config_.d0_hint_s
-                          : 0.5 * report.max_search_delay_s;
-    const calib::lms_skew_estimator estimator(config_.lms);
-    report.skew = estimator.estimate(art.capture, d0, art.probe_times);
-
-    // 7. Spectrum-grading capture of the preset waveform (wide filter,
-    // fast rate), then reconstruction with the identified delay, spectrum
-    // and EVM.  The record is long enough for ~80 symbols of the graded
-    // waveform.
-    const double spec_ramp =
-        static_cast<double>(art.stimulus.shaper_delay_samples) /
-        art.stimulus.sample_rate;
-    const double spec_t_start =
-        config_.capture_start_s > 0.0
-            ? config_.capture_start_s
-            : art.spectrum_input->begin_time() + spec_ramp + 0.1 * us;
-    const std::size_t spec_samples = std::max(
-        config_.fast_samples,
-        static_cast<std::size_t>(
-            std::ceil(80.0 * b / config_.preset.stimulus.symbol_rate)));
-    SDRBIST_EXPECTS(spec_t_start + static_cast<double>(spec_samples) / b <
-                    art.spectrum_input->end_time());
-
-    if (config_.auto_range)
-        art.spectrum_ranging = sampler.auto_range(*art.spectrum_input,
-                                                  spec_t_start, spec_samples);
-    art.spectrum_capture = sampler.capture(*art.spectrum_input, spec_t_start,
-                                           spec_samples,
-                                           /*capture*/ 2);
-
-    const sampling::pnbs_reconstructor recon(
-        art.spectrum_capture.even, art.spectrum_capture.odd,
-        art.spectrum_capture.period_s, art.spectrum_capture.t_start,
-        art.capture.band_fast, report.skew.d_hat, config_.lms.recon);
-    spectrum_options spec_opt = config_.spectrum;
-    if (spec_opt.mix_frequency <= 0.0)
-        spec_opt.mix_frequency = carrier;
-    if (spec_opt.ddc_cutoff_hz <= 0.0) {
-        // Cover the mask extent (4 × occupied) but no more: narrow graded
-        // signals then get a lower envelope rate and finer PSD resolution.
-        const double mix_shift = std::abs(spec_opt.mix_frequency -
-                                          art.capture.band_fast.centre());
-        spec_opt.ddc_cutoff_hz =
-            std::min(0.55 * b + mix_shift, 4.6 * occ_graded + mix_shift);
-    }
-    if (spec_opt.envelope_rate_min <= 0.0)
-        spec_opt.envelope_rate_min = 2.4 * spec_opt.ddc_cutoff_hz;
-    art.envelope = reconstruct_envelope(recon, spec_opt);
-
-    const std::size_t welch_segment =
-        config_.spectrum.welch_segment > 0
-            ? config_.spectrum.welch_segment
-            : auto_welch_segment(art.envelope.rate, occ_graded,
-                                 art.envelope.samples.size());
-    const auto psd = envelope_psd(art.envelope, welch_segment);
-    report.mask = config_.preset.mask.check(psd);
-
-    // Scalar spectral metrics: ACPR and occupied bandwidth.  Offset
-    // precedence: explicit config > the preset's standard-mandated offset
-    // > auto (1.5 × occupied bandwidth).
-    {
-        const double offset =
-            config_.acpr_offset_hz > 0.0 ? config_.acpr_offset_hz
-            : config_.preset.acpr_offset_hz > 0.0
-                ? config_.preset.acpr_offset_hz
-                : 1.5 * occ_graded;
-        report.acpr = waveform::measure_acpr(psd, occ_graded, offset);
-        report.acpr_limit_dbc = config_.acpr_limit_dbc;
-        report.acpr_pass = config_.acpr_limit_dbc >= 0.0 ||
-                           report.acpr.worst_dbc() <= config_.acpr_limit_dbc;
-        report.occupied_bw_hz = waveform::occupied_bandwidth(psd, 0.99);
-    }
-
-    waveform::evm_options evm_opt;
-    evm_opt.envelope_t0 = art.envelope.t0;
-    report.evm = waveform::measure_evm(
-        std::span<const std::complex<double>>(art.envelope.samples.data(),
-                                              art.envelope.samples.size()),
-        art.envelope.rate, art.stimulus, evm_opt);
-    report.evm_pass = report.evm.evm_percent() <= config_.evm_limit_percent;
-
-    // 8. Output-power check (PA health): refer the captured RMS back
-    // through the ranging attenuator to the capture-path input level.
-    {
-        const double scale =
-            config_.auto_range ? art.spectrum_ranging.input_scale : 1.0;
-        report.measured_output_rms =
-            rms(art.spectrum_capture.even) / scale;
-        report.min_output_rms = config_.min_output_rms;
-        report.power_pass = config_.min_output_rms <= 0.0 ||
-                            report.measured_output_rms >=
-                                config_.min_output_rms;
-    }
-
-    return {report, art};
+    bist_session session(config_);
+    session.run();
+    bist_report report = session.report();
+    return {std::move(report), std::move(session).artifacts()};
 }
 
-bist_report bist_engine::run() const { return run_verbose().first; }
+bist_report bist_engine::run() const {
+    bist_session session(config_);
+    session.run();
+    return session.report();
+}
 
 } // namespace sdrbist::bist

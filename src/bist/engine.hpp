@@ -4,6 +4,12 @@
 ///        two rates, identify the DCDE time-skew with the LMS algorithm,
 ///        reconstruct the bandpass signal, and grade spectrum (mask) and
 ///        modulation quality (EVM).
+///
+/// The flow itself lives in the staged pipeline (bist/pipeline.hpp):
+/// `bist_engine` is the one-shot convenience wrapper that runs a
+/// `bist_session` end to end.  Use the session directly to run stages
+/// individually, resume, re-run with a modified downstream config, or
+/// share upstream stage results across executions.
 #pragma once
 
 #include <cstdint>
@@ -66,7 +72,9 @@ struct bist_config {
 };
 
 /// Intermediate artefacts (exposed so tests, benches and notebooks can
-/// inspect every stage).
+/// inspect every stage).  Legacy aggregate view: the pipeline's typed
+/// per-stage structs (bist/stages.hpp) are the primary interface; this is
+/// what `bist_session::artifacts()` assembles from them.
 struct bist_artifacts {
     waveform::baseband_waveform stimulus;      ///< the graded waveform
     waveform::baseband_waveform calibration;   ///< the skew-calibration one
@@ -85,7 +93,9 @@ struct bist_artifacts {
     reconstructed_envelope envelope;
 };
 
-/// BIST orchestration engine.
+/// BIST orchestration engine: thin one-shot wrapper over `bist_session`
+/// (bit-identical to the staged pipeline by construction — it *is* the
+/// staged pipeline, run end to end).
 class bist_engine {
 public:
     explicit bist_engine(bist_config config);

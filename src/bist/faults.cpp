@@ -1,5 +1,7 @@
 #include "bist/faults.hpp"
 
+#include "core/contracts.hpp"
+
 namespace sdrbist::bist {
 
 rf::tx_config inject_fault(rf::tx_config golden, fault_kind fault) {
@@ -50,6 +52,13 @@ std::string to_string(fault_kind fault) {
         return "filter-detune";
     }
     return "unknown";
+}
+
+fault_kind fault_from_string(const std::string& name) {
+    for (const fault_kind f : fault_catalogue())
+        if (to_string(f) == name)
+            return f;
+    throw contract_violation("unknown fault kind: " + name);
 }
 
 std::vector<fault_kind> fault_catalogue() {

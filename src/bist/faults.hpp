@@ -30,6 +30,11 @@ rf::tx_config inject_fault(rf::tx_config golden, fault_kind fault);
 /// Name for reports.
 std::string to_string(fault_kind fault);
 
+/// Inverse of to_string.  Throws contract_violation on unknown names
+/// (callers deserialising shard files and CLI arguments want loud
+/// failures, not silent `none`).
+fault_kind fault_from_string(const std::string& name);
+
 /// All faults including `none` (for coverage sweeps).
 std::vector<fault_kind> fault_catalogue();
 

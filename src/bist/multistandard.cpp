@@ -19,7 +19,7 @@ run_catalogue(const bist_config& base,
     // Legacy semantics: every preset runs with the base configuration's
     // seeds (the serial loop never reseeded), so results stay bit-identical
     // with the pre-campaign implementation.
-    cc.reseed_trials = false;
+    cc.reseed = campaign::reseed_policy::off;
     cc.relax_mask_to_floor = true;
 
     const campaign::campaign_runner runner(std::move(cc));

@@ -221,6 +221,119 @@ bist::bist_report report_from_json(const json_value& v) {
 }
 
 // ---------------------------------------------------------------------------
+// Cache lifecycle tooling
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// How a cache-directory file would behave on the next warm run.
+enum class entry_class { entry, stale, corrupt, stray_tmp, foreign };
+
+bool is_hex_key(const std::string& stem) {
+    if (stem.size() != 16)
+        return false;
+    for (const char c : stem)
+        if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')))
+            return false;
+    return true;
+}
+
+/// Classify one file the way scenario_cache::load would treat it.  Sets
+/// `version` for files that parse far enough to expose a cache_version.
+entry_class classify(const fs::path& path, int& version) {
+    const std::string filename = path.filename().string();
+    // Leftover atomic-publish temp: "<16-hex>.json.tmp.<tag>.<seq>".
+    if (filename.size() > 21 && is_hex_key(filename.substr(0, 16)) &&
+        filename.compare(16, 10, ".json.tmp.") == 0)
+        return entry_class::stray_tmp;
+    if (path.extension() != ".json")
+        return entry_class::foreign;
+    const std::string stem = path.stem().string();
+    if (!is_hex_key(stem))
+        return entry_class::foreign;
+
+    std::ifstream in(path, std::ios::binary);
+    if (!in.good())
+        return entry_class::corrupt;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    try {
+        const json_value doc = parse_json(buffer.str());
+        version = static_cast<int>(doc.at("cache_version").as_number());
+        if (version != cache_format_version)
+            return entry_class::stale;
+        if (doc.at("key").as_string() != stem)
+            return entry_class::corrupt;
+        static_cast<void>(report_from_json(doc.at("report")));
+        static_cast<void>(doc.at("engine_error").as_bool());
+        return entry_class::entry;
+    } catch (const std::exception&) {
+        return entry_class::corrupt;
+    }
+}
+
+template <typename OnRemovable>
+cache_dir_stats walk_cache_dir(const std::string& dir,
+                               OnRemovable&& on_removable) {
+    SDRBIST_EXPECTS(fs::is_directory(dir));
+    cache_dir_stats stats;
+    for (const auto& entry : fs::directory_iterator(dir)) {
+        if (!entry.is_regular_file())
+            continue;
+        int version = -1;
+        const entry_class c = classify(entry.path(), version);
+        if (c == entry_class::foreign)
+            continue; // not ours: never counted, never touched
+        std::error_code ec;
+        const std::uintmax_t size = fs::file_size(entry.path(), ec);
+        stats.bytes += ec ? 0 : size;
+        switch (c) {
+        case entry_class::entry:
+            ++stats.entries;
+            ++stats.version_histogram[version];
+            break;
+        case entry_class::stale:
+            ++stats.stale;
+            ++stats.version_histogram[version];
+            on_removable(entry.path(), ec ? 0 : size);
+            break;
+        case entry_class::corrupt:
+            ++stats.corrupt;
+            on_removable(entry.path(), ec ? 0 : size);
+            break;
+        case entry_class::stray_tmp:
+            ++stats.stray_tmp;
+            on_removable(entry.path(), ec ? 0 : size);
+            break;
+        case entry_class::foreign:
+            break;
+        }
+    }
+    return stats;
+}
+
+} // namespace
+
+cache_dir_stats scan_cache_dir(const std::string& dir) {
+    return walk_cache_dir(dir, [](const fs::path&, std::uintmax_t) {});
+}
+
+cache_gc_result gc_cache_dir(const std::string& dir) {
+    cache_gc_result out;
+    const cache_dir_stats stats =
+        walk_cache_dir(dir, [&](const fs::path& path, std::uintmax_t size) {
+            std::error_code ec;
+            if (fs::remove(path, ec) && !ec) {
+                ++out.removed;
+                out.bytes_freed += size;
+            }
+        });
+    out.scanned = stats.files();
+    out.kept = stats.entries;
+    return out;
+}
+
+// ---------------------------------------------------------------------------
 // scenario_cache
 // ---------------------------------------------------------------------------
 

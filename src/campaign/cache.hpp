@@ -24,6 +24,8 @@
 /// version-mismatched entries read as misses and are re-graded.
 #pragma once
 
+#include <cstdint>
+#include <map>
 #include <optional>
 #include <string>
 
@@ -72,6 +74,45 @@ public:
 private:
     std::string dir_;
 };
+
+// ---------------------------------------------------------------------------
+// Cache lifecycle tooling (the CLI's `cache-stats` / `cache-gc`).
+// ---------------------------------------------------------------------------
+
+/// One pass over a cache directory, classifying every entry.
+struct cache_dir_stats {
+    std::size_t entries = 0;  ///< readable, current-version entries
+    std::size_t stale = 0;    ///< version-skewed (would re-grade as a miss)
+    std::size_t corrupt = 0;  ///< unparseable / truncated / key mismatch
+    std::size_t stray_tmp = 0; ///< leftover atomic-publish temp files
+    std::uintmax_t bytes = 0; ///< total size of everything classified
+    /// cache_version value → entry count (corrupt entries excluded).
+    std::map<int, std::size_t> version_histogram;
+
+    [[nodiscard]] std::size_t files() const {
+        return entries + stale + corrupt + stray_tmp;
+    }
+};
+
+/// Classify every cache file under `dir` (non-recursive: the cache writes
+/// a flat directory).  Throws contract_violation when `dir` is not a
+/// directory.
+cache_dir_stats scan_cache_dir(const std::string& dir);
+
+/// Outcome of a garbage collection over a cache directory.
+struct cache_gc_result {
+    std::size_t scanned = 0;
+    std::size_t removed = 0; ///< stale + corrupt entries and stray temps
+    std::size_t kept = 0;    ///< current-version, readable entries
+    std::uintmax_t bytes_freed = 0;
+};
+
+/// Evict everything a warm run could not use: version-skewed entries,
+/// corrupt/truncated files, key-mismatched entries and leftover `.tmp.*`
+/// files from interrupted atomic publishes.  Only touches files matching
+/// the cache's own naming scheme — anything else in the directory is left
+/// alone.  Throws contract_violation when `dir` is not a directory.
+cache_gc_result gc_cache_dir(const std::string& dir);
 
 /// Serialise a full bist_report as a JSON object.  Doubles are written in
 /// shortest round-trip form, so parse(report_json(r)) recovers every

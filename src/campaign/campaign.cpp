@@ -1,13 +1,19 @@
 #include "campaign/campaign.hpp"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cmath>
 #include <exception>
+#include <future>
+#include <mutex>
 #include <optional>
+#include <unordered_map>
 #include <utility>
 
+#include "bist/config_canonical.hpp"
+#include "bist/pipeline.hpp"
 #include "campaign/cache.hpp"
 #include "core/contracts.hpp"
 #include "core/random.hpp"
@@ -66,6 +72,188 @@ void aggregate(campaign_result& out) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Stage pool: planned cross-scenario sharing of pipeline-stage results.
+//
+// The runner computes every scenario's stage input digests up front and
+// keeps one slot per digest that has MORE than one consumer.  The first
+// worker to reach a slot computes the stage (on its own session) and
+// publishes the shared snapshot; later workers adopt it.  Every consumer —
+// including ones served from the scenario result cache, which never touch
+// the pool — releases its claim when its scenario finishes, and the slot
+// is freed with the last release, so retained memory is bounded by the
+// overlap that is still live.
+// ---------------------------------------------------------------------------
+
+/// The shareable prefix of the pipeline (grading is always terminal).
+constexpr std::array<bist::stage, 4> shareable_stages{
+    bist::stage::stimulus, bist::stage::tx_capture,
+    bist::stage::calibration, bist::stage::reconstruction};
+
+template <typename T>
+class stage_slot_map {
+public:
+    /// Plan phase (single-threaded): register one expected consumer.
+    void expect(std::uint64_t digest) { ++expected_[digest]; }
+
+    /// End of plan phase: digests with a single consumer are dropped —
+    /// they would cost retention without ever being reused.
+    void finalise_plan() {
+        for (auto it = expected_.begin(); it != expected_.end();) {
+            if (it->second < 2) {
+                it = expected_.erase(it);
+            } else {
+                slots_.try_emplace(it->first).first->second.remaining =
+                    it->second;
+                ++it;
+            }
+        }
+    }
+
+    /// True when this digest is pooled (read-only after finalise_plan, so
+    /// safe to query concurrently).
+    [[nodiscard]] bool pooled(std::uint64_t digest) const {
+        return expected_.find(digest) != expected_.end();
+    }
+
+    /// Fetch the shared result, computing it via `compute` exactly once
+    /// across all consumers.  Returns {snapshot, reused}.  Rethrows the
+    /// computing consumer's exception to every waiter (equal digests mean
+    /// the recomputation would throw identically).
+    template <typename Fn>
+    std::pair<std::shared_ptr<const T>, bool> acquire(std::uint64_t digest,
+                                                      Fn&& compute) {
+        std::shared_future<std::shared_ptr<const T>> future;
+        std::promise<std::shared_ptr<const T>>* promise = nullptr;
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            auto it = slots_.find(digest);
+            SDRBIST_EXPECTS(it != slots_.end());
+            slot& s = it->second;
+            if (!s.started) {
+                s.started = true;
+                s.future = s.promise.get_future().share();
+                // The slot cannot be erased while we hold an unreleased
+                // claim on it, and unordered_map references are stable, so
+                // the pointer stays valid across the computation.
+                promise = &s.promise;
+            }
+            future = s.future;
+        }
+        if (promise) {
+            // Compute outside the lock: waiters block on the future, not
+            // the mutex.
+            try {
+                promise->set_value(compute());
+            } catch (...) {
+                promise->set_exception(std::current_exception());
+            }
+        }
+        return {future.get(), promise == nullptr};
+    }
+
+    /// One consumer is done with this digest; frees the slot on the last
+    /// release.  No-op for digests that were never pooled.
+    void release(std::uint64_t digest) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = slots_.find(digest);
+        if (it == slots_.end())
+            return;
+        if (--it->second.remaining == 0)
+            slots_.erase(it);
+    }
+
+private:
+    struct slot {
+        std::size_t remaining = 0;
+        bool started = false;
+        std::promise<std::shared_ptr<const T>> promise;
+        std::shared_future<std::shared_ptr<const T>> future;
+    };
+    std::mutex mutex_;
+    std::unordered_map<std::uint64_t, std::size_t> expected_;
+    std::unordered_map<std::uint64_t, slot> slots_;
+};
+
+/// Per-scenario digests of the shareable prefix.
+using stage_digests = std::array<std::uint64_t, shareable_stages.size()>;
+
+struct stage_pool {
+    stage_slot_map<bist::stimulus_output> stimulus;
+    stage_slot_map<bist::tx_capture_output> tx_capture;
+    stage_slot_map<bist::calibration_output> calibration;
+    stage_slot_map<bist::reconstruction_output> reconstruction;
+
+    std::atomic<std::size_t> hits{0};
+    std::atomic<std::size_t> computes{0};
+
+    void expect(const stage_digests& d, int depth) {
+        if (depth > 0) stimulus.expect(d[0]);
+        if (depth > 1) tx_capture.expect(d[1]);
+        if (depth > 2) calibration.expect(d[2]);
+        if (depth > 3) reconstruction.expect(d[3]);
+    }
+    void finalise_plan() {
+        stimulus.finalise_plan();
+        tx_capture.finalise_plan();
+        calibration.finalise_plan();
+        reconstruction.finalise_plan();
+    }
+    void release(const stage_digests& d) {
+        stimulus.release(d[0]);
+        tx_capture.release(d[1]);
+        calibration.release(d[2]);
+        reconstruction.release(d[3]);
+    }
+};
+
+/// Run one scenario's pipeline, adopting every pooled prefix stage.  The
+/// prefix-digest chain makes multiplicities monotone along the pipeline,
+/// so the adoption loop can stop at the first un-pooled stage.  A null
+/// snapshot marks a stage the donor's flow never reached (halted at
+/// tx_capture) — adopting stops there and the session's own halt logic
+/// takes over (it halted identically: same digests, same captures).
+bist::bist_report run_with_pool(const bist::bist_config& materialised,
+                                const stage_digests& digests, int depth,
+                                stage_pool& pool) {
+    bist::bist_session session(materialised);
+    const auto adopt = [&](auto& slot_map, bist::stage s, auto share,
+                           auto adopt_fn) -> bool {
+        const std::uint64_t digest = digests[bist::stage_index(s)];
+        if (!slot_map.pooled(digest))
+            return false;
+        auto [snapshot, reused] = slot_map.acquire(digest, [&] {
+            session.run_until(s);
+            return (session.*share)();
+        });
+        if (!snapshot)
+            return false; // donor halted before this stage; so will we
+        (reused ? pool.hits : pool.computes)
+            .fetch_add(1, std::memory_order_relaxed);
+        (session.*adopt_fn)(std::move(snapshot));
+        return true;
+    };
+
+    using S = bist::bist_session;
+    const bool go =
+        depth > 0 &&
+        adopt(pool.stimulus, bist::stage::stimulus, &S::share_stimulus,
+              &S::adopt_stimulus) &&
+        depth > 1 &&
+        adopt(pool.tx_capture, bist::stage::tx_capture, &S::share_tx_capture,
+              &S::adopt_tx_capture) &&
+        depth > 2 &&
+        adopt(pool.calibration, bist::stage::calibration,
+              &S::share_calibration, &S::adopt_calibration) &&
+        depth > 3 &&
+        adopt(pool.reconstruction, bist::stage::reconstruction,
+              &S::share_reconstruction, &S::adopt_reconstruction);
+    static_cast<void>(go);
+
+    session.run();
+    return session.report();
+}
+
 } // namespace
 
 std::vector<scenario> expand_grid(const campaign_config& cfg) {
@@ -102,7 +290,8 @@ bist::bist_config scenario_config(const campaign_config& cfg,
     out.preset = preset;
     out.tx = bist::inject_fault(out.tx, sc.fault);
 
-    if (cfg.reseed_trials) {
+    switch (cfg.reseed) {
+    case reseed_policy::device: {
         rng gen(sc.seed);
         out.tx.seed = gen.next_u64();
         out.tiadc.seed = gen.next_u64();
@@ -115,6 +304,21 @@ bist::bist_config scenario_config(const campaign_config& cfg,
             std::exp(cfg.perturb.jitter_rel_sigma * jitter_g);
         out.tiadc.delay_element.static_error_s +=
             cfg.perturb.dcde_static_sigma_s * dcde_g;
+        break;
+    }
+    case reseed_policy::probes: {
+        // One fixed device, a fresh probe draw per trial.  The draw is a
+        // block design: derived from (master seed, trial) only — every
+        // preset and fault sees the *same* probe placements per trial, so
+        // probe-draw variance never confounds cross-cell comparisons, and
+        // the calibration stage stays shareable across the whole grid,
+        // not just within one cell.
+        rng gen(derive_seed(cfg.seed ^ 0x9E0BE5EEDull, 0, 0, sc.trial));
+        out.probe_seed = gen.next_u64();
+        break;
+    }
+    case reseed_policy::off:
+        break;
     }
 
     if (cfg.relax_mask_to_floor) {
@@ -181,6 +385,36 @@ campaign_result campaign_runner::run(const run_hooks& hooks) const {
     std::atomic<std::size_t> hits{0};
     std::atomic<std::size_t> misses{0};
 
+    // Stage-pool plan: compute the shareable-prefix digests of every
+    // scenario this process grades, and pool only the digests more than
+    // one scenario needs.  A scenario whose materialisation throws here
+    // is left un-pooled — the worker rethrows the identical error into
+    // the scenario's result slot, exactly like the unpooled path.
+    const int share_depth =
+        config_.stage_sharing
+            ? std::min<int>(bist::stage_index(*config_.stage_sharing) + 1,
+                            static_cast<int>(shareable_stages.size()))
+            : 0;
+    std::vector<stage_digests> digests;
+    stage_pool shared;
+    if (share_depth > 0 && grid.size() > 1) {
+        digests.assign(grid.size(), stage_digests{});
+        for (std::size_t i = 0; i < grid.size(); ++i) {
+            try {
+                const bist::bist_config materialised =
+                    scenario_config(config_, grid[i]);
+                for (std::size_t k = 0; k < shareable_stages.size(); ++k)
+                    digests[i][k] = bist::stage_input_digest(
+                        materialised, shareable_stages[k]);
+                shared.expect(digests[i], share_depth);
+            } catch (const std::exception&) {
+                digests[i] = stage_digests{};
+            }
+        }
+        shared.finalise_plan();
+    }
+    const bool pooling = !digests.empty();
+
     // Execute: each job reads the shared config and writes only its own
     // grid-indexed slot, so thread count cannot affect any result.
     out.results.resize(grid.size());
@@ -221,8 +455,13 @@ campaign_result campaign_runner::run(const run_hooks& hooks) const {
                     }
                 }
                 if (!hit) {
-                    const bist::bist_engine engine(materialised);
-                    slot.report = engine.run();
+                    if (pooling) {
+                        slot.report = run_with_pool(materialised, digests[i],
+                                                    share_depth, shared);
+                    } else {
+                        const bist::bist_engine engine(materialised);
+                        slot.report = engine.run();
+                    }
                 }
             } catch (const contract_violation& e) {
                 // Deterministic config rejection: re-running reproduces it,
@@ -237,6 +476,11 @@ campaign_result campaign_runner::run(const run_hooks& hooks) const {
                 slot.error = e.what();
                 cacheable = false;
             }
+            // Give up this scenario's claims on pooled stage results no
+            // matter how it finished (cache hit, error, success): the last
+            // claim frees the slot.
+            if (pooling)
+                shared.release(digests[i]);
             if (hit) {
                 hits.fetch_add(1, std::memory_order_relaxed);
             } else {
@@ -254,6 +498,8 @@ campaign_result campaign_runner::run(const run_hooks& hooks) const {
         std::chrono::duration<double>(clock::now() - wall_start).count();
     out.cache_hits = hits.load();
     out.cache_misses = misses.load();
+    out.stage_reuse_hits = shared.hits.load();
+    out.stage_reuse_computes = shared.computes.load();
 
     // Aggregate in grid order (deterministic regardless of completion order).
     aggregate(out);
@@ -288,6 +534,8 @@ campaign_result merge_results(const std::vector<campaign_result>& shards) {
         out.threads_used = std::max(out.threads_used, shard.threads_used);
         out.cache_hits += shard.cache_hits;
         out.cache_misses += shard.cache_misses;
+        out.stage_reuse_hits += shard.stage_reuse_hits;
+        out.stage_reuse_computes += shard.stage_reuse_computes;
     }
     SDRBIST_EXPECTS(total_rows == out.grid_size);
 

@@ -17,11 +17,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "bist/engine.hpp"
 #include "bist/faults.hpp"
+#include "bist/stages.hpp"
 #include "waveform/standard.hpp"
 
 namespace sdrbist::campaign {
@@ -40,8 +42,27 @@ struct shard_spec {
     }
 };
 
+/// How Monte-Carlo trials derive their randomness from the per-scenario
+/// seed (see `scenario_config`).
+enum class reseed_policy {
+    /// Fresh device seeds per trial (tx, tiadc, probes) plus the
+    /// `trial_perturbation` spread: every trial is a different physical
+    /// device.  The historical default.
+    device,
+    /// Fresh probe placement only: device seeds stay at `base`, so trials
+    /// measure the skew estimator's sensitivity to the random probe draw
+    /// (the paper's N random instants) on one fixed device — and the
+    /// stimulus/Tx/capture pipeline stages stay bit-identical across
+    /// trials, which the runner's stage pool turns into shared work.
+    probes,
+    /// No reseeding: every scenario keeps the seeds of `base` (legacy
+    /// `run_catalogue` semantics).
+    off,
+};
+
 /// Monte-Carlo perturbations applied per trial on top of the derived seeds
-/// (device-to-device spread a production population would show).
+/// (device-to-device spread a production population would show).  Only
+/// meaningful under `reseed_policy::device`.
 struct trial_perturbation {
     /// Log-normal sigma on the TIADC sampling jitter: per trial the rms
     /// jitter is multiplied by exp(N(0, sigma)).  0 = no spread.
@@ -61,11 +82,23 @@ struct campaign_config {
     std::size_t trials = 1;                 ///< Monte-Carlo repeats per cell
 
     std::uint64_t seed = 0x5EEDC0DE;        ///< campaign master seed
-    /// Derive fresh per-scenario seeds (tx, tiadc, probe) from `seed` and
-    /// the grid coordinates.  When false every scenario keeps the seeds of
-    /// `base` — the legacy `run_catalogue` behaviour.
-    bool reseed_trials = true;
+    /// What per-scenario reseeding derives from `seed` and the grid
+    /// coordinates (`device` = the historical `reseed_trials = true`,
+    /// `off` = the historical `false`).
+    reseed_policy reseed = reseed_policy::device;
     trial_perturbation perturb{};
+
+    /// Deepest pipeline stage whose results the runner pools across
+    /// scenarios (prefix sharing: a stage is adopted only when every stage
+    /// upstream of it is too).  The pool is *planned*: stage input digests
+    /// are computed for the whole (shard's) grid up front, only results
+    /// with more than one consumer are ever retained, and each entry is
+    /// dropped the moment its last consumer finishes — so memory is
+    /// bounded by the actual overlap, and grids with no overlap (e.g.
+    /// fully device-reseeded trials) pay nothing.  Results are bit-
+    /// identical with sharing on, off, or at any level (equal digests
+    /// guarantee equal outputs).  nullopt disables pooling entirely.
+    std::optional<bist::stage> stage_sharing = bist::stage::reconstruction;
 
     /// Relax each preset's mask to the jitter measurement floor at the
     /// preset carrier (paper §II-B3), as `run_catalogue` always did.
@@ -140,6 +173,14 @@ struct campaign_result {
     // misses into hits, so exporters treat these as measured data.
     std::size_t cache_hits = 0;
     std::size_t cache_misses = 0;
+
+    // Stage-pool accounting (both 0 when `stage_sharing` is off or the
+    // grid has no overlap).  Unlike the cache counters these are
+    // deterministic — the pool is planned from digest multiplicities, so
+    // adopted/computed totals are a pure function of the grid and sharing
+    // level, independent of thread count and completion order.
+    std::size_t stage_reuse_hits = 0;     ///< pooled stage results adopted
+    std::size_t stage_reuse_computes = 0; ///< pooled stage results computed
 
     /// Per-scenario outcomes in grid order (deterministic).  For a shard
     /// result these are only the shard's rows (still ascending by index).

@@ -1,0 +1,159 @@
+#include "campaign/shard_io.hpp"
+
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "campaign/cache.hpp"
+#include "core/contracts.hpp"
+
+namespace sdrbist::campaign {
+
+namespace {
+
+double num_or_nan(const json_value& v) {
+    return v.is_null() ? std::numeric_limits<double>::quiet_NaN()
+                       : v.as_number();
+}
+
+std::size_t size_of(const json_value& v) {
+    return static_cast<std::size_t>(v.as_number());
+}
+
+std::uint64_t u64_of(const json_value& v) {
+    // 64-bit values travel as decimal strings (JSON numbers carry 53 bits).
+    return std::stoull(v.as_string());
+}
+
+std::string name_array_json(const std::vector<std::string>& names) {
+    std::string out = "[";
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        if (i)
+            out += ',';
+        out += json_quote(names[i]);
+    }
+    out += ']';
+    return out;
+}
+
+std::vector<std::string> name_array_from_json(const json_value& v) {
+    std::vector<std::string> out;
+    out.reserve(v.as_array().size());
+    for (const auto& e : v.as_array())
+        out.push_back(e.as_string());
+    return out;
+}
+
+std::string row_json(const scenario_result& r) {
+    json_object_writer o;
+    o.size_field("index", r.sc.index);
+    o.size_field("preset_index", r.sc.preset_index);
+    o.size_field("fault_index", r.sc.fault_index);
+    o.size_field("trial", r.sc.trial);
+    o.string_field("preset", r.sc.preset_name);
+    o.string_field("fault", bist::to_string(r.sc.fault));
+    o.string_field("seed", std::to_string(r.sc.seed));
+    o.bool_field("engine_error", r.engine_error);
+    o.string_field("error", r.error);
+    o.number_field("elapsed_s", r.elapsed_s);
+    o.field("report", report_json(r.report));
+    return o.str();
+}
+
+scenario_result row_from_json(const json_value& v) {
+    scenario_result r;
+    r.sc.index = size_of(v.at("index"));
+    r.sc.preset_index = size_of(v.at("preset_index"));
+    r.sc.fault_index = size_of(v.at("fault_index"));
+    r.sc.trial = size_of(v.at("trial"));
+    r.sc.preset_name = v.at("preset").as_string();
+    r.sc.fault = bist::fault_from_string(v.at("fault").as_string());
+    r.sc.seed = u64_of(v.at("seed"));
+    r.engine_error = v.at("engine_error").as_bool();
+    r.error = v.at("error").as_string();
+    r.elapsed_s = num_or_nan(v.at("elapsed_s"));
+    r.report = report_from_json(v.at("report"));
+    return r;
+}
+
+} // namespace
+
+std::string result_to_json(const campaign_result& result) {
+    json_object_writer doc;
+    doc.size_field("shard_file_version",
+                   static_cast<std::size_t>(shard_file_version));
+    doc.field("presets", name_array_json(result.preset_names));
+    doc.field("faults", name_array_json(result.fault_names));
+    doc.size_field("trials", result.trials);
+    doc.string_field("seed", std::to_string(result.seed));
+    doc.size_field("shard_index", result.shard_index);
+    doc.size_field("shard_count", result.shard_count);
+    doc.size_field("grid_size", result.grid_size);
+    doc.size_field("threads_used", result.threads_used);
+    doc.number_field("wall_s", result.wall_s);
+    doc.size_field("cache_hits", result.cache_hits);
+    doc.size_field("cache_misses", result.cache_misses);
+    doc.size_field("stage_reuse_hits", result.stage_reuse_hits);
+    doc.size_field("stage_reuse_computes", result.stage_reuse_computes);
+    std::string rows = "[";
+    for (std::size_t i = 0; i < result.results.size(); ++i) {
+        if (i)
+            rows += ',';
+        rows += row_json(result.results[i]);
+    }
+    rows += ']';
+    doc.field("results", rows);
+    return doc.str();
+}
+
+campaign_result result_from_json(const json_value& doc) {
+    SDRBIST_EXPECTS(static_cast<int>(
+                        doc.at("shard_file_version").as_number()) ==
+                    shard_file_version);
+    campaign_result out;
+    out.preset_names = name_array_from_json(doc.at("presets"));
+    out.fault_names = name_array_from_json(doc.at("faults"));
+    out.trials = size_of(doc.at("trials"));
+    out.seed = u64_of(doc.at("seed"));
+    out.shard_index = size_of(doc.at("shard_index"));
+    out.shard_count = size_of(doc.at("shard_count"));
+    out.grid_size = size_of(doc.at("grid_size"));
+    out.threads_used = size_of(doc.at("threads_used"));
+    out.wall_s = num_or_nan(doc.at("wall_s"));
+    out.cache_hits = size_of(doc.at("cache_hits"));
+    out.cache_misses = size_of(doc.at("cache_misses"));
+    out.stage_reuse_hits = size_of(doc.at("stage_reuse_hits"));
+    out.stage_reuse_computes = size_of(doc.at("stage_reuse_computes"));
+    for (const auto& row : doc.at("results").as_array())
+        out.results.push_back(row_from_json(row));
+    // The coverage matrix and population statistics are deliberately not
+    // stored: merge_results() re-derives them from the rows through the
+    // same aggregation path an unsharded run uses.
+    return out;
+}
+
+campaign_result read_result_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in.good())
+        throw contract_violation("cannot read shard file: " + path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    try {
+        return result_from_json(parse_json(buffer.str()));
+    } catch (const std::exception& e) {
+        throw contract_violation("malformed shard file " + path + ": " +
+                                 e.what());
+    }
+}
+
+bool write_result_file(const std::string& path,
+                       const campaign_result& result) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out.good())
+        return false;
+    out << result_to_json(result) << '\n';
+    out.flush();
+    return out.good();
+}
+
+} // namespace sdrbist::campaign

@@ -1,0 +1,49 @@
+/// \file shard_io.hpp
+/// \brief Full-fidelity campaign result files for cross-process merging.
+///
+/// The export JSON (campaign/export.{hpp,cpp}) is a *summary* format: its
+/// scenario rows carry selected metrics, not the whole report, so it
+/// cannot be merged back into a campaign_result.  This module defines the
+/// complementary *shard file*: a versioned JSON document that round-trips
+/// every field the aggregation and exporters read — scenario coordinates,
+/// verdict reports bit-for-bit (through the cache's report serialisation:
+/// shortest round-trip doubles), error strings, timing and counters.
+///
+///   campaign_runner --shard 0/3 --shard-out shard0.json …
+///   campaign_runner --merge shard0.json shard1.json shard2.json --json …
+///
+/// `read_result_file` + `merge_results()` therefore recombine shard
+/// processes without the shared `--cache-dir` the old merge flow needed,
+/// and the merged exports are byte-identical (timing suppressed) to an
+/// unsharded run's.
+#pragma once
+
+#include <string>
+
+#include "campaign/campaign.hpp"
+#include "campaign/export.hpp"
+
+namespace sdrbist::campaign {
+
+/// Shard-file layout version; read_result rejects other versions loudly.
+inline constexpr int shard_file_version = 1;
+
+/// Serialise a campaign result (typically one shard's) with full fidelity.
+/// Deterministic: fixed field order, shortest round-trip doubles — so
+/// write(read(x)) is byte-identical to write(x).
+std::string result_to_json(const campaign_result& result);
+
+/// Rebuild a campaign result from its shard-file form.  The coverage
+/// matrix and population statistics are re-derived by `merge_results`
+/// (shard files deliberately store only ground truth: the rows).  Throws
+/// contract_violation on version or structure mismatches.
+campaign_result result_from_json(const json_value& doc);
+
+/// File convenience wrappers.  `read_result_file` throws
+/// contract_violation when the file is missing or malformed;
+/// `write_result_file` returns false when the file cannot be written.
+campaign_result read_result_file(const std::string& path);
+[[nodiscard]] bool write_result_file(const std::string& path,
+                                     const campaign_result& result);
+
+} // namespace sdrbist::campaign

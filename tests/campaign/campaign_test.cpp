@@ -104,7 +104,7 @@ TEST(ScenarioConfig, ReseedDerivesFreshSeedsPerScenario) {
 
 TEST(ScenarioConfig, LegacyModeKeepsBaseSeeds) {
     auto cfg = small_campaign();
-    cfg.reseed_trials = false;
+    cfg.reseed = reseed_policy::off;
     const auto grid = expand_grid(cfg);
     for (const auto& sc : grid) {
         const auto c = scenario_config(cfg, sc);

@@ -1,0 +1,147 @@
+// Cross-scenario stage sharing: the runner's planned stage pool must be
+// invisible in the results (bit-identical at every sharing level and
+// thread count), deterministic in its accounting, and engaged exactly
+// where digests overlap.
+#include <gtest/gtest.h>
+
+#include "campaign/campaign.hpp"
+#include "campaign/export.hpp"
+#include "core/units.hpp"
+
+namespace {
+
+using namespace sdrbist;
+using namespace sdrbist::campaign;
+
+/// Guard-banding grid: one standard against two candidate masks,
+/// Monte-Carlo over probe draws — downstream-only variation, maximal
+/// upstream overlap.
+campaign_config reuse_campaign() {
+    campaign_config cfg;
+    cfg.base.tiadc.quant.full_scale = 2.0;
+    cfg.base.min_output_rms = 1.2;
+    const auto preset = waveform::find_preset("paper-qpsk-10M");
+    auto strict = preset;
+    strict.name = "paper-qpsk-10M/strict";
+    strict.mask = waveform::make_strict_mask(preset.stimulus.symbol_rate,
+                                             preset.stimulus.rolloff);
+    cfg.presets = {preset, strict};
+    cfg.faults = {bist::fault_kind::none, bist::fault_kind::pa_gain_drop};
+    cfg.trials = 2;
+    cfg.reseed = reseed_policy::probes;
+    cfg.seed = 0x57A6E5ull;
+    cfg.threads = 2;
+    return cfg;
+}
+
+std::string timing_free(const campaign_result& r) {
+    export_options opt;
+    opt.include_timing = false;
+    return to_json(r, opt);
+}
+
+TEST(StageReuse, EverySharingLevelIsBitIdentical) {
+    auto cfg = reuse_campaign();
+    cfg.stage_sharing.reset();
+    const auto baseline = campaign_runner(cfg).run();
+    EXPECT_EQ(baseline.stage_reuse_hits, 0u);
+    EXPECT_EQ(baseline.stage_reuse_computes, 0u);
+
+    for (const bist::stage level :
+         {bist::stage::stimulus, bist::stage::tx_capture,
+          bist::stage::calibration, bist::stage::reconstruction}) {
+        SCOPED_TRACE(bist::to_string(level));
+        cfg.stage_sharing = level;
+        const auto shared = campaign_runner(cfg).run();
+        EXPECT_EQ(timing_free(shared), timing_free(baseline));
+        EXPECT_GT(shared.stage_reuse_hits, 0u);
+    }
+}
+
+TEST(StageReuse, PoolAccountingMatchesTheDigestPlan) {
+    // 2 mask-variant presets x 2 faults x 2 probe trials = 8 scenarios.
+    //  - stimulus: identical everywhere          -> 1 compute, 7 adopts
+    //  - tx_capture: differs only by fault       -> 2 computes, 6 adopts
+    //  - calibration: fault x probe trial        -> 4 computes, 4 adopts
+    //  - reconstruction: fault x probe trial     -> 4 computes, 4 adopts
+    auto cfg = reuse_campaign();
+    cfg.stage_sharing = bist::stage::reconstruction;
+    const auto result = campaign_runner(cfg).run();
+    EXPECT_EQ(result.stage_reuse_computes, 1u + 2u + 4u + 4u);
+    EXPECT_EQ(result.stage_reuse_hits, 7u + 6u + 4u + 4u);
+
+    // The accounting is planned, not raced: any thread count reproduces it.
+    cfg.threads = 5;
+    const auto threaded = campaign_runner(cfg).run();
+    EXPECT_EQ(threaded.stage_reuse_computes, result.stage_reuse_computes);
+    EXPECT_EQ(threaded.stage_reuse_hits, result.stage_reuse_hits);
+    EXPECT_EQ(timing_free(threaded), timing_free(result));
+}
+
+TEST(StageReuse, DeviceReseedHasNoOverlapToPool) {
+    // Fully device-reseeded trials are distinct devices: every tx_capture
+    // digest is unique, so only the (preset-wide) stimulus stage pools.
+    auto cfg = reuse_campaign();
+    cfg.presets = {waveform::find_preset("paper-qpsk-10M")};
+    cfg.faults = {bist::fault_kind::none};
+    cfg.trials = 3;
+    cfg.reseed = reseed_policy::device;
+    cfg.stage_sharing = bist::stage::reconstruction;
+    const auto result = campaign_runner(cfg).run();
+    EXPECT_EQ(result.stage_reuse_computes, 1u); // stimulus only
+    EXPECT_EQ(result.stage_reuse_hits, 2u);
+
+    // And it stays bit-identical to the unshared run.
+    cfg.stage_sharing.reset();
+    EXPECT_EQ(timing_free(campaign_runner(cfg).run()), timing_free(result));
+}
+
+TEST(StageReuse, SharedScenarioResultsMatchIsolatedEngineRuns) {
+    // Every pooled scenario must equal the result of grading it alone —
+    // adoption may never leak another scenario's configuration.
+    auto cfg = reuse_campaign();
+    cfg.stage_sharing = bist::stage::reconstruction;
+    const auto shared = campaign_runner(cfg).run();
+    const auto grid = expand_grid(cfg);
+    ASSERT_EQ(shared.results.size(), grid.size());
+    for (const std::size_t i : {std::size_t{0}, grid.size() / 2,
+                                grid.size() - 1}) {
+        const auto isolated =
+            bist::bist_engine(scenario_config(cfg, grid[i])).run();
+        export_options opt;
+        opt.include_timing = false;
+        scenario_result expected = shared.results[i];
+        expected.report = isolated;
+        EXPECT_EQ(scenario_json(shared.results[i], opt),
+                  scenario_json(expected, opt))
+            << "scenario " << i;
+    }
+}
+
+TEST(ReseedPolicy, ProbesMovesOnlyTheProbeSeedAsABlockDesign) {
+    auto cfg = reuse_campaign();
+    cfg.reseed = reseed_policy::probes;
+    const auto grid = expand_grid(cfg);
+
+    const auto base0 = scenario_config(cfg, grid[0]);
+    for (const auto& sc : grid) {
+        const auto c = scenario_config(cfg, sc);
+        // Device identity is fixed across the whole grid.
+        EXPECT_EQ(c.tx.seed, cfg.base.tx.seed);
+        EXPECT_EQ(c.tiadc.seed, cfg.base.tiadc.seed);
+        EXPECT_DOUBLE_EQ(c.tiadc.jitter_rms_s, cfg.base.tiadc.jitter_rms_s);
+        // Probe draws are a block design: a function of the trial alone,
+        // shared by every preset and fault.
+        const auto twin = scenario_config(
+            cfg, grid[sc.trial]); // preset 0, fault 0, same trial
+        EXPECT_EQ(c.probe_seed, twin.probe_seed);
+        if (sc.trial != grid[0].trial) {
+            EXPECT_NE(c.probe_seed, base0.probe_seed);
+        }
+    }
+    // Distinct trials draw distinct probes.
+    EXPECT_NE(scenario_config(cfg, grid[0]).probe_seed,
+              scenario_config(cfg, grid[1]).probe_seed);
+}
+
+} // namespace
