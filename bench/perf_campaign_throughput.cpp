@@ -16,10 +16,40 @@
 #include "campaign/campaign.hpp"
 #include "campaign/export.hpp"
 #include "core/table.hpp"
+#include "core/telemetry.hpp"
 #include "core/thread_pool.hpp"
+
+namespace {
+
+/// Share of the workers' wall time the telemetry spans account for: the
+/// stage, pool, cache and idle spans together should cover nearly all of
+/// `threads x wall` (the rest is per-scenario glue).
+double span_coverage(const sdrbist::campaign::campaign_result& result) {
+    using sdrbist::telemetry::category;
+    const auto& s = result.telemetry_summary;
+    const double covered_ns =
+        static_cast<double>(s.of(category::stage_stimulus).total_ns +
+                            s.of(category::stage_tx_capture).total_ns +
+                            s.of(category::stage_calibration).total_ns +
+                            s.of(category::stage_reconstruction).total_ns +
+                            s.of(category::stage_grading).total_ns +
+                            s.of(category::pool).total_ns +
+                            s.of(category::cache).total_ns +
+                            s.of(category::idle).total_ns);
+    const double budget_ns = static_cast<double>(result.threads_used) *
+                             result.wall_s * 1e9;
+    return budget_ns > 0.0 ? covered_ns / budget_ns : 0.0;
+}
+
+} // namespace
 
 int main() {
     using namespace sdrbist;
+
+    // Counter/aggregate collection on for the whole bench (it is what the
+    // per-stage breakdowns below read); trace buffering only in the
+    // dedicated overhead section.
+    telemetry::enable(/*capture_trace=*/false);
 
     campaign::campaign_config cfg;
     cfg.base.tiadc.quant.full_scale = 2.0;
@@ -85,6 +115,17 @@ int main() {
         rec.add("speedup_vs_1t", speedup);
         rec.add("coverage", result.coverage());
         rec.add("yield", result.yield());
+        // Where the time went: per-stage mean span cost for this run.
+        using telemetry::category;
+        const auto& ts = result.telemetry_summary;
+        rec.add("stimulus_mean_ns", ts.of(category::stage_stimulus).mean_ns());
+        rec.add("tx_capture_mean_ns",
+                ts.of(category::stage_tx_capture).mean_ns());
+        rec.add("calibration_mean_ns",
+                ts.of(category::stage_calibration).mean_ns());
+        rec.add("reconstruction_mean_ns",
+                ts.of(category::stage_reconstruction).mean_ns());
+        rec.add("grading_mean_ns", ts.of(category::stage_grading).mean_ns());
         benchutil::emit_bench_json("campaign_throughput", rec);
     }
     std::cout << "\n";
@@ -215,5 +256,48 @@ int main() {
                   << text_table::num(reuse_speedup, 2) << "x < 1.3x\n";
         return 1;
     }
+
+    // ---- trace-capture overhead ------------------------------------------
+    // The telemetry contract: tracing must never change the results and
+    // should cost low single-digit percent.  Re-run the throughput grid
+    // fully untraced, then with trace-event capture, compare artefacts and
+    // measure the wall-time delta.  The overhead is reported, not asserted
+    // (a loaded CI host produces wall-time noise of the same magnitude).
+    campaign::campaign_config trace_cfg = cfg;
+    trace_cfg.cache_dir.clear();
+    trace_cfg.threads = hw;
+
+    telemetry::disable();
+    const auto plain = campaign::campaign_runner(trace_cfg).run();
+    telemetry::reset();
+    telemetry::enable(/*capture_trace=*/true);
+    const auto traced = campaign::campaign_runner(trace_cfg).run();
+    const std::size_t trace_events = telemetry::trace_event_count();
+    telemetry::disable();
+
+    if (campaign::to_json(traced, opt) != campaign::to_json(plain, opt)) {
+        std::cerr << "TRACE VIOLATION: traced run is not bit-identical\n";
+        return 1;
+    }
+
+    const double overhead_pct =
+        100.0 * (traced.wall_s - plain.wall_s) / plain.wall_s;
+    const double coverage = span_coverage(traced);
+    std::cout << "\ntrace capture (" << traced.scenario_count()
+              << " scenarios): untraced "
+              << text_table::num(plain.wall_s, 3) << " s -> traced "
+              << text_table::num(traced.wall_s, 3) << " s  ("
+              << text_table::num(overhead_pct, 1) << "% overhead, "
+              << trace_events << " events, span coverage "
+              << text_table::num(100.0 * coverage, 1) << "%)\n";
+
+    benchutil::json_record trace_rec;
+    trace_rec.add("scenarios", traced.scenario_count());
+    trace_rec.add("untraced_wall_s", plain.wall_s);
+    trace_rec.add("traced_wall_s", traced.wall_s);
+    trace_rec.add("overhead_pct", overhead_pct);
+    trace_rec.add("trace_events", trace_events);
+    trace_rec.add("span_coverage", coverage);
+    benchutil::emit_bench_json("campaign_trace_overhead", trace_rec);
     return 0;
 }

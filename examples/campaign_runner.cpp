@@ -14,6 +14,7 @@
 ///   campaign_runner --merge s0.json s1.json s2.json --json merged.json
 ///   campaign_runner cache-stats .campaign-cache
 ///   campaign_runner cache-gc .campaign-cache
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -22,12 +23,15 @@
 #include <string>
 #include <vector>
 
+#include "bist/config_canonical.hpp"
 #include "campaign/cache.hpp"
 #include "campaign/campaign.hpp"
 #include "campaign/export.hpp"
 #include "campaign/shard_io.hpp"
+#include "core/build_info.hpp"
 #include "core/simd/kernel_backend.hpp"
 #include "core/table.hpp"
+#include "core/telemetry.hpp"
 #include "core/units.hpp"
 
 namespace {
@@ -129,6 +133,14 @@ void usage() {
         "  --no-timing       suppress measured fields (timing, thread and\n"
         "                    cache counters) in every export, making\n"
         "                    artefacts byte-comparable across runs\n"
+        "  --trace-out PATH  record a Chrome trace (load in chrome://tracing\n"
+        "                    or https://ui.perfetto.dev): one span per\n"
+        "                    pipeline stage, scenario, cache access, shard\n"
+        "                    I/O and worker task/idle interval\n"
+        "  --counters        print the telemetry counter and per-category\n"
+        "                    span tables after the run\n"
+        "  --build-info      print build provenance (compiler, build type,\n"
+        "                    SIMD backends, format versions) and exit\n"
         "  --list-presets    print the preset catalogue and exit\n"
         "  --list-backends   print the SIMD kernel backends and exit\n"
         "  --help            this text\n";
@@ -200,6 +212,61 @@ int list_backends() {
     return 0;
 }
 
+/// Build provenance plus the campaign-layer format versions — the
+/// `--build-info` block and the `otherData` of every exported trace.
+std::vector<std::pair<std::string, std::string>> provenance_fields() {
+    auto fields = build_info_fields();
+    fields.emplace_back("canonical_config_version",
+                        std::to_string(bist::canonical_config_version));
+    fields.emplace_back("stage_canonical_version",
+                        std::to_string(bist::stage_canonical_version));
+    fields.emplace_back("cache_format_version",
+                        std::to_string(campaign::cache_format_version));
+    fields.emplace_back("shard_file_version",
+                        std::to_string(campaign::shard_file_version));
+    return fields;
+}
+
+int build_info_cmd() {
+    const auto fields = provenance_fields();
+    std::size_t width = 0;
+    for (const auto& [key, value] : fields)
+        width = std::max(width, key.size());
+    std::cout << "build info:\n";
+    for (const auto& [key, value] : fields)
+        std::cout << "  " << key << ':'
+                  << std::string(width - key.size() + 2, ' ') << value
+                  << "\n";
+    return 0;
+}
+
+/// `--counters` report: the monotonic counters, then the per-category span
+/// aggregates of this run's window (the summary attached to the result).
+void print_telemetry(const campaign::campaign_result& result) {
+    const auto counts = telemetry::counters();
+    text_table counters({"counter", "value"});
+    counters.set_title("telemetry counters");
+    for (std::size_t i = 0; i < telemetry::counter_count; ++i)
+        counters.add_row(
+            {telemetry::to_string(static_cast<telemetry::counter>(i)),
+             std::to_string(counts[i])});
+    std::cout << "\n";
+    counters.print(std::cout);
+
+    text_table spans(
+        {"category", "count", "total [ns]", "mean [ns]", "max [ns]"});
+    spans.set_title("telemetry spans");
+    for (std::size_t i = 0; i < telemetry::category_count; ++i) {
+        const auto& c = result.telemetry_summary.categories[i];
+        spans.add_row(
+            {telemetry::to_string(static_cast<telemetry::category>(i)),
+             std::to_string(c.count), std::to_string(c.total_ns),
+             text_table::num(c.mean_ns(), 1), std::to_string(c.max_ns)});
+    }
+    std::cout << "\n";
+    spans.print(std::cout);
+}
+
 int cache_stats_cmd(const std::string& dir) {
     const auto stats = campaign::scan_cache_dir(dir);
     std::cout << "cache " << dir << ": " << stats.files() << " files, "
@@ -241,13 +308,14 @@ namespace {
 
 /// Everything after the run/merge: summary table, stdout stats, exports.
 int report_and_export(const campaign::campaign_result& result,
-                      const campaign::campaign_config& cfg,
                       const campaign::export_options& opt,
                       const std::string& json_path,
                       const std::string& csv_path,
                       const std::string& scenarios_path,
                       const std::string& shard_out_path,
-                      const std::string& jsonl_path = {}) {
+                      const std::string& jsonl_path = {},
+                      const std::string& trace_out_path = {},
+                      bool show_counters = false) {
     campaign::coverage_table(result).print(std::cout);
     std::cout << "\nyield (golden pass rate):  "
               << text_table::num(100.0 * result.yield(), 1) << " %  ("
@@ -267,14 +335,14 @@ int report_and_export(const campaign::campaign_result& result,
                   << "/" << result.shard_count << "  ("
                   << result.results.size() << " of " << result.grid_size
                   << " scenarios)\n";
-    if (!cfg.cache_dir.empty())
-        // Format relied upon by CI (warm-run assertion greps this line).
-        std::cout << "cache:                     " << result.cache_hits
-                  << " hits, " << result.cache_misses << " misses\n";
-    if (result.stage_reuse_hits + result.stage_reuse_computes > 0)
-        std::cout << "stage reuse:               " << result.stage_reuse_hits
-                  << " adopted, " << result.stage_reuse_computes
-                  << " computed\n";
+    // Format relied upon by CI (warm-run assertion greps these lines).
+    std::cout << "cache:                     " << result.cache_hits
+              << " hits, " << result.cache_misses << " misses\n"
+              << "stage reuse:               " << result.stage_reuse_hits
+              << " adopted, " << result.stage_reuse_computes
+              << " computed\n";
+    if (show_counters)
+        print_telemetry(result);
 
     bool engine_errors = false;
     for (const auto& r : result.results)
@@ -313,6 +381,16 @@ int report_and_export(const campaign::campaign_result& result,
         }
         std::cout << "wrote " << shard_out_path << "\n";
     }
+    // Last, so the trace also covers the export spans above.
+    if (!trace_out_path.empty()) {
+        if (!telemetry::write_chrome_trace(trace_out_path,
+                                           provenance_fields())) {
+            std::cerr << "cannot write " << trace_out_path << "\n";
+            std::exit(1);
+        }
+        std::cout << "wrote " << trace_out_path << " ("
+                  << telemetry::trace_event_count() << " events)\n";
+    }
 
     return engine_errors ? 1 : 0;
 }
@@ -335,10 +413,15 @@ int run_cli(int argc, char** argv) {
     cfg.base.min_output_rms = 1.2; // PA-health floor so gain faults count
 
     std::string json_path, csv_path, scenarios_path, jsonl_path,
-        shard_out_path;
+        shard_out_path, trace_out_path;
     std::vector<std::string> preset_names, fault_names, merge_paths;
     bool merge_mode = false;
+    bool show_counters = false;
+    bool show_build_info = false;
     campaign::export_options export_opt;
+    // The CLI always appends the JSONL summary row; the library default
+    // stays off for scenario-rows-only consumers.
+    export_opt.jsonl_summary = true;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -396,6 +479,12 @@ int run_cli(int argc, char** argv) {
             jsonl_path = value();
         } else if (arg == "--no-timing") {
             export_opt.include_timing = false;
+        } else if (arg == "--trace-out") {
+            trace_out_path = value();
+        } else if (arg == "--counters") {
+            show_counters = true;
+        } else if (arg == "--build-info") {
+            show_build_info = true;
         } else if (merge_mode && !arg.empty() && arg[0] != '-') {
             merge_paths.push_back(arg);
         } else {
@@ -404,6 +493,16 @@ int run_cli(int argc, char** argv) {
             return 2;
         }
     }
+
+    // After parsing, so the block reflects a --backend force on this
+    // command line.
+    if (show_build_info)
+        return build_info_cmd();
+
+    // Telemetry on when anything consumes it.  Counters/aggregates always
+    // under enable; trace-event buffering only with --trace-out.
+    if (!trace_out_path.empty() || show_counters)
+        telemetry::enable(/*capture_trace=*/!trace_out_path.empty());
 
     // ---- merge mode: recombine shard result files, no engine runs ---------
     if (merge_mode) {
@@ -418,8 +517,9 @@ int run_cli(int argc, char** argv) {
         const auto merged = campaign::merge_results(shards);
         std::cout << "merged " << merge_paths.size() << " shards: "
                   << merged.scenario_count() << " scenarios\n\n";
-        return report_and_export(merged, cfg, export_opt, json_path, csv_path,
-                                 scenarios_path, shard_out_path, jsonl_path);
+        return report_and_export(merged, export_opt, json_path, csv_path,
+                                 scenarios_path, shard_out_path, jsonl_path,
+                                 trace_out_path, show_counters);
     }
 
     if (!preset_names.empty()) {
@@ -457,13 +557,14 @@ int run_cli(int argc, char** argv) {
     const campaign::campaign_runner runner(cfg);
     const auto result = runner.run(hooks);
     if (jsonl) {
-        jsonl->finalise();
+        jsonl->finalise(result);
         std::cout << "wrote " << jsonl_path << " (" << jsonl->rows()
                   << " rows, streamed)\n";
     }
 
-    return report_and_export(result, cfg, export_opt, json_path, csv_path,
-                             scenarios_path, shard_out_path);
+    return report_and_export(result, export_opt, json_path, csv_path,
+                             scenarios_path, shard_out_path, {},
+                             trace_out_path, show_counters);
 }
 
 } // namespace

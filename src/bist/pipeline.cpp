@@ -6,6 +6,7 @@
 #include "bist/config_canonical.hpp"
 #include "core/contracts.hpp"
 #include "core/stats.hpp"
+#include "core/telemetry.hpp"
 #include "core/units.hpp"
 #include "dsp/biquad.hpp"
 
@@ -45,6 +46,8 @@ adc::bp_tiadc make_programmed_sampler(const bist_config& config) {
 // ---------------------------------------------------------------------------
 
 stimulus_output run_stimulus(const bist_config& config) {
+    const telemetry::scoped_span span(telemetry::category::stage_stimulus,
+                                      "stimulus");
     stimulus_output out;
 
     const double nominal_carrier = config.preset.default_carrier_hz;
@@ -104,6 +107,8 @@ stimulus_output run_stimulus(const bist_config& config) {
 
 tx_capture_output run_tx_capture(const bist_config& config,
                                  const stimulus_output& stim) {
+    const telemetry::scoped_span span(telemetry::category::stage_tx_capture,
+                                      "tx-capture");
     tx_capture_output out;
 
     const double b = config.tiadc.channel_rate_hz;
@@ -187,6 +192,8 @@ tx_capture_output run_tx_capture(const bist_config& config,
 
 calibration_output run_calibration(const bist_config& config,
                                    const tx_capture_output& cap) {
+    const telemetry::scoped_span span(telemetry::category::stage_calibration,
+                                      "calibration");
     SDRBIST_EXPECTS(cap.dual_rate_conditions_ok);
     calibration_output out;
 
@@ -208,6 +215,8 @@ reconstruction_output run_reconstruction(const bist_config& config,
                                          const stimulus_output& stim,
                                          const tx_capture_output& cap,
                                          const calibration_output& cal) {
+    const telemetry::scoped_span span(
+        telemetry::category::stage_reconstruction, "reconstruction");
     reconstruction_output out;
 
     const double b = config.tiadc.channel_rate_hz;
@@ -262,6 +271,8 @@ reconstruction_output run_reconstruction(const bist_config& config,
 grading_output run_grading(const bist_config& config,
                            const stimulus_output& stim,
                            const reconstruction_output& recon) {
+    const telemetry::scoped_span span(telemetry::category::stage_grading,
+                                      "grading");
     grading_output out;
 
     const double occ_graded = stim.occupied_bw_graded_hz;

@@ -16,6 +16,7 @@
 #include "bist/config_canonical.hpp"
 #include "core/contracts.hpp"
 #include "core/hash.hpp"
+#include "core/telemetry.hpp"
 
 namespace sdrbist::campaign {
 
@@ -367,6 +368,8 @@ std::string scenario_cache::path_for(const std::string& key) const {
 
 std::optional<scenario_result>
 scenario_cache::load(const std::string& key) const {
+    const telemetry::scoped_span span(telemetry::category::cache,
+                                      "cache.load");
     std::ifstream in(path_for(key), std::ios::binary);
     if (!in.good())
         return std::nullopt; // plain miss
@@ -392,6 +395,8 @@ scenario_cache::load(const std::string& key) const {
 
 void scenario_cache::store(const std::string& key,
                            const scenario_result& r) const {
+    const telemetry::scoped_span span(telemetry::category::cache,
+                                      "cache.store");
     json_object_writer doc;
     doc.size_field("cache_version",
                    static_cast<std::size_t>(cache_format_version));

@@ -17,6 +17,7 @@
 #include "campaign/cache.hpp"
 #include "core/contracts.hpp"
 #include "core/random.hpp"
+#include "core/telemetry.hpp"
 #include "core/thread_pool.hpp"
 
 namespace sdrbist::campaign {
@@ -148,6 +149,15 @@ public:
             } catch (...) {
                 promise->set_exception(std::current_exception());
             }
+        } else if (telemetry::active() &&
+                   future.wait_for(std::chrono::seconds(0)) !=
+                       std::future_status::ready) {
+            // Adoption that has to block on another worker's compute:
+            // the wait is scheduling cost the trace should show.
+            telemetry::count(telemetry::counter::stage_waits);
+            const telemetry::scoped_span wait_span(telemetry::category::pool,
+                                                   "pool.wait");
+            return {future.get(), true};
         }
         return {future.get(), promise == nullptr};
     }
@@ -230,6 +240,10 @@ bist::bist_report run_with_pool(const bist::bist_config& materialised,
             return false; // donor halted before this stage; so will we
         (reused ? pool.hits : pool.computes)
             .fetch_add(1, std::memory_order_relaxed);
+        // Mirror the pool accounting into the telemetry counters at the
+        // same site, so counter exactness vs stage_reuse_* is structural.
+        telemetry::count(reused ? telemetry::counter::stage_adopts
+                                : telemetry::counter::stage_computes);
         (session.*adopt_fn)(std::move(snapshot));
         return true;
     };
@@ -356,6 +370,14 @@ campaign_runner::campaign_runner(campaign_config config)
 campaign_result campaign_runner::run(const run_hooks& hooks) const {
     using clock = std::chrono::steady_clock;
 
+    // Telemetry window baseline: the per-run summary attached to the
+    // result is the delta over this run, so concurrent/earlier activity
+    // in the process does not leak in (maxima stay process-lifetime:
+    // they are not subtractable).
+    const bool telemetry_on = telemetry::active();
+    const telemetry::summary telemetry_base =
+        telemetry_on ? telemetry::snapshot() : telemetry::summary{};
+
     const auto full_grid = expand_grid(config_);
     std::vector<scenario> grid;
     if (config_.shard.count <= 1) {
@@ -398,6 +420,8 @@ campaign_result campaign_runner::run(const run_hooks& hooks) const {
     std::vector<stage_digests> digests;
     stage_pool shared;
     if (share_depth > 0 && grid.size() > 1) {
+        const telemetry::scoped_span plan_span(telemetry::category::campaign,
+                                               "campaign.plan");
         digests.assign(grid.size(), stage_digests{});
         for (std::size_t i = 0; i < grid.size(); ++i) {
             try {
@@ -429,6 +453,8 @@ campaign_result campaign_runner::run(const run_hooks& hooks) const {
         parallel_for_index(pool, grid.size(), [&](std::size_t i) {
             scenario_result& slot = out.results[i];
             slot.sc = grid[i];
+            const telemetry::scoped_span scenario_span(
+                telemetry::category::scenario, "scenario", grid[i].index);
             const auto t0 = clock::now();
             std::string key;
             bool hit = false;
@@ -483,10 +509,12 @@ campaign_result campaign_runner::run(const run_hooks& hooks) const {
                 shared.release(digests[i]);
             if (hit) {
                 hits.fetch_add(1, std::memory_order_relaxed);
+                telemetry::count(telemetry::counter::cache_hits);
             } else {
                 slot.elapsed_s =
                     std::chrono::duration<double>(clock::now() - t0).count();
                 misses.fetch_add(1, std::memory_order_relaxed);
+                telemetry::count(telemetry::counter::cache_misses);
                 if (cache && !key.empty() && cacheable)
                     cache->store(key, slot);
             }
@@ -500,6 +528,8 @@ campaign_result campaign_runner::run(const run_hooks& hooks) const {
     out.cache_misses = misses.load();
     out.stage_reuse_hits = shared.hits.load();
     out.stage_reuse_computes = shared.computes.load();
+    if (telemetry_on)
+        out.telemetry_summary = telemetry::since(telemetry_base);
 
     // Aggregate in grid order (deterministic regardless of completion order).
     aggregate(out);
@@ -507,6 +537,8 @@ campaign_result campaign_runner::run(const run_hooks& hooks) const {
 }
 
 campaign_result merge_results(const std::vector<campaign_result>& shards) {
+    const telemetry::scoped_span span(telemetry::category::shard,
+                                      "shard.merge");
     SDRBIST_EXPECTS(!shards.empty());
     const campaign_result& first = shards.front();
 
@@ -536,6 +568,7 @@ campaign_result merge_results(const std::vector<campaign_result>& shards) {
         out.cache_misses += shard.cache_misses;
         out.stage_reuse_hits += shard.stage_reuse_hits;
         out.stage_reuse_computes += shard.stage_reuse_computes;
+        out.telemetry_summary.merge_from(shard.telemetry_summary);
     }
     SDRBIST_EXPECTS(total_rows == out.grid_size);
 

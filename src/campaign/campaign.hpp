@@ -24,6 +24,7 @@
 #include "bist/engine.hpp"
 #include "bist/faults.hpp"
 #include "bist/stages.hpp"
+#include "core/telemetry.hpp"
 #include "waveform/standard.hpp"
 
 namespace sdrbist::campaign {
@@ -181,6 +182,14 @@ struct campaign_result {
     // level, independent of thread count and completion order.
     std::size_t stage_reuse_hits = 0;     ///< pooled stage results adopted
     std::size_t stage_reuse_computes = 0; ///< pooled stage results computed
+
+    // Telemetry window of this run: per-category span aggregates (stage
+    // costs, pool waits, cache I/O, worker idle) captured between run
+    // start and end.  All zeros when telemetry was off.  Measured data
+    // like the timing fields; merge_results combines additively
+    // (telemetry::summary::merge_from), so sharded runs aggregate like
+    // unsharded ones.
+    telemetry::summary telemetry_summary{};
 
     /// Per-scenario outcomes in grid order (deterministic).  For a shard
     /// result these are only the shard's rows (still ascending by index).

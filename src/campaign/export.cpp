@@ -105,6 +105,51 @@ std::string json_quote(const std::string& s) {
     return out;
 }
 
+namespace {
+
+/// Per-category telemetry aggregates as a JSON object keyed by category
+/// name.  Measured data (appears only under include_timing); ns values as
+/// JSON numbers — this is the human/analysis export, the full-fidelity
+/// round trip lives in shard_io.
+std::string telemetry_json(const telemetry::summary& s) {
+    json_object_writer o;
+    for (std::size_t i = 0; i < telemetry::category_count; ++i) {
+        const auto& c = s.categories[i];
+        json_object_writer cat;
+        cat.size_field("count", c.count);
+        cat.number_field("total_ns", static_cast<double>(c.total_ns));
+        cat.number_field("mean_ns", c.mean_ns());
+        cat.number_field("max_ns", static_cast<double>(c.max_ns));
+        o.field(telemetry::to_string(static_cast<telemetry::category>(i)),
+                cat.str());
+    }
+    return o.str();
+}
+
+} // namespace
+
+std::string summary_json(const campaign_result& result,
+                         const export_options& opt) {
+    json_object_writer o;
+    o.string_field("row", "summary");
+    o.size_field("scenarios", result.scenario_count());
+    o.size_field("golden_runs", result.golden_runs);
+    o.size_field("golden_passes", result.golden_passes);
+    o.number_field("yield", result.yield());
+    o.size_field("fault_runs", result.fault_runs);
+    o.size_field("fault_detected", result.fault_detected);
+    o.number_field("coverage", result.coverage());
+    o.number_field("escape_rate", result.escape_rate());
+    if (opt.include_timing) {
+        o.size_field("cache_hits", result.cache_hits);
+        o.size_field("cache_misses", result.cache_misses);
+        o.size_field("stage_reuse_hits", result.stage_reuse_hits);
+        o.size_field("stage_reuse_computes", result.stage_reuse_computes);
+        o.number_field("wall_seconds", result.wall_s);
+    }
+    return o.str();
+}
+
 std::string to_json(const campaign_result& result, export_options opt) {
     std::string grid_axes;
     {
@@ -152,6 +197,15 @@ std::string to_json(const campaign_result& result, export_options opt) {
             // misses into hits, so they would break byte-identity.
             o.size_field("cache_hits", result.cache_hits);
             o.size_field("cache_misses", result.cache_misses);
+            // Stage-reuse totals are deterministic per shard partition
+            // but not partition-invariant (a shard pools less than the
+            // whole grid), so they live with the measured fields.
+            o.size_field("stage_reuse_hits", result.stage_reuse_hits);
+            o.size_field("stage_reuse_computes",
+                         result.stage_reuse_computes);
+            if (!result.telemetry_summary.empty())
+                o.field("telemetry",
+                        telemetry_json(result.telemetry_summary));
         }
         summary = o.str();
     }
@@ -253,6 +307,10 @@ std::string scenarios_jsonl(const campaign_result& result,
         out += scenario_json(r, opt);
         out += '\n';
     }
+    if (opt.jsonl_summary) {
+        out += summary_json(result, opt);
+        out += '\n';
+    }
     return out;
 }
 
@@ -287,6 +345,16 @@ void jsonl_stream::append(const scenario_result& r) {
 
 void jsonl_stream::finalise() {
     const std::lock_guard<std::mutex> lock(mutex_);
+    finalise_locked(nullptr);
+}
+
+void jsonl_stream::finalise(const campaign_result& result) {
+    const std::string summary_row = summary_json(result, opt_) + "\n";
+    const std::lock_guard<std::mutex> lock(mutex_);
+    finalise_locked(&summary_row);
+}
+
+void jsonl_stream::finalise_locked(const std::string* summary_row) {
     if (finalised_)
         return;
     out_.close();
@@ -315,6 +383,9 @@ void jsonl_stream::finalise() {
             ordered.write(streamed.data() +
                               static_cast<std::streamoff>(row.offset),
                           static_cast<std::streamsize>(row.length));
+        if (summary_row)
+            ordered.write(summary_row->data(),
+                          static_cast<std::streamsize>(summary_row->size()));
         ordered.flush();
         if (!ordered.good()) {
             std::error_code ec;

@@ -30,6 +30,9 @@ struct export_options {
     bool include_timing = true;
     /// Include the per-scenario rows (the bulk of the payload) in JSON.
     bool include_scenarios = true;
+    /// Append the summary row (see summary_json) to JSONL exports.  Off by
+    /// default so scenario-rows-only consumers keep a uniform schema.
+    bool jsonl_summary = false;
 };
 
 /// Full campaign result as a JSON document (objects with fixed key order).
@@ -49,9 +52,19 @@ std::string scenario_json(const scenario_result& r,
 
 /// All scenario rows as JSONL (one scenario_json object per line, grid
 /// order).  Byte-identical to what jsonl_stream leaves on disk after
-/// finalise() for the same rows and options.
+/// finalise() for the same rows and options.  With `opt.jsonl_summary` a
+/// summary row is appended (matching jsonl_stream::finalise(result)).
 std::string scenarios_jsonl(const campaign_result& result,
                             export_options opt = {});
+
+/// The JSONL summary row: `{"row":"summary",...}` with the population
+/// statistics and — timing on — the cache and stage-reuse counters.
+/// Distinguishable from scenario rows by its `row` field.  Only
+/// deterministic fields are emitted under `include_timing == false`, so
+/// merged-vs-unsharded artefacts stay byte-comparable (stage-reuse totals
+/// are partition-dependent: a shard pools less than the whole grid).
+std::string summary_json(const campaign_result& result,
+                         const export_options& opt = {});
 
 /// Coverage matrix rendered as a core/table text table (presets as rows,
 /// faults as columns, cells flagged/runs).
@@ -84,6 +97,11 @@ public:
     /// the completion-order artefact intact for salvage.  Idempotent.
     void finalise();
 
+    /// Finalise and append the campaign summary row (summary_json of
+    /// `result` under this stream's options).  Byte-identical on disk to
+    /// scenarios_jsonl(result, opt) with `opt.jsonl_summary = true`.
+    void finalise(const campaign_result& result);
+
     /// Rows appended so far.
     [[nodiscard]] std::size_t rows() const;
 
@@ -97,6 +115,8 @@ private:
         std::size_t offset;
         std::size_t length;
     };
+
+    void finalise_locked(const std::string* summary_row);
 
     mutable std::mutex mutex_;
     std::string path_;

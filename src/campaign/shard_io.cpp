@@ -6,6 +6,7 @@
 
 #include "campaign/cache.hpp"
 #include "core/contracts.hpp"
+#include "core/telemetry.hpp"
 
 namespace sdrbist::campaign {
 
@@ -23,6 +24,10 @@ std::size_t size_of(const json_value& v) {
 std::uint64_t u64_of(const json_value& v) {
     // 64-bit values travel as decimal strings (JSON numbers carry 53 bits).
     return std::stoull(v.as_string());
+}
+
+std::uint64_t u64_of_number(const json_value& v) {
+    return static_cast<std::uint64_t>(v.as_number());
 }
 
 std::string name_array_json(const std::vector<std::string>& names) {
@@ -60,6 +65,43 @@ std::string row_json(const scenario_result& r) {
     return o.str();
 }
 
+/// Per-category aggregates, in category declaration order.  The ns fields
+/// travel as decimal strings: totals can exceed the 53 bits a JSON number
+/// round-trips, and shard files promise write(read(x)) == write(x).
+std::string telemetry_block_json(const telemetry::summary& s) {
+    std::string out = "[";
+    for (std::size_t i = 0; i < telemetry::category_count; ++i) {
+        if (i)
+            out += ',';
+        const auto& c = s.categories[i];
+        json_object_writer o;
+        o.string_field("category",
+                       telemetry::to_string(
+                           static_cast<telemetry::category>(i)));
+        o.size_field("count", c.count);
+        o.string_field("total_ns", std::to_string(c.total_ns));
+        o.string_field("max_ns", std::to_string(c.max_ns));
+        out += o.str();
+    }
+    out += ']';
+    return out;
+}
+
+telemetry::summary telemetry_block_from_json(const json_value& v) {
+    telemetry::summary out;
+    const auto& arr = v.as_array();
+    SDRBIST_EXPECTS(arr.size() == telemetry::category_count);
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+        SDRBIST_EXPECTS(arr[i].at("category").as_string() ==
+                        telemetry::to_string(
+                            static_cast<telemetry::category>(i)));
+        out.categories[i].count = u64_of_number(arr[i].at("count"));
+        out.categories[i].total_ns = u64_of(arr[i].at("total_ns"));
+        out.categories[i].max_ns = u64_of(arr[i].at("max_ns"));
+    }
+    return out;
+}
+
 scenario_result row_from_json(const json_value& v) {
     scenario_result r;
     r.sc.index = size_of(v.at("index"));
@@ -95,6 +137,7 @@ std::string result_to_json(const campaign_result& result) {
     doc.size_field("cache_misses", result.cache_misses);
     doc.size_field("stage_reuse_hits", result.stage_reuse_hits);
     doc.size_field("stage_reuse_computes", result.stage_reuse_computes);
+    doc.field("telemetry", telemetry_block_json(result.telemetry_summary));
     std::string rows = "[";
     for (std::size_t i = 0; i < result.results.size(); ++i) {
         if (i)
@@ -124,6 +167,7 @@ campaign_result result_from_json(const json_value& doc) {
     out.cache_misses = size_of(doc.at("cache_misses"));
     out.stage_reuse_hits = size_of(doc.at("stage_reuse_hits"));
     out.stage_reuse_computes = size_of(doc.at("stage_reuse_computes"));
+    out.telemetry_summary = telemetry_block_from_json(doc.at("telemetry"));
     for (const auto& row : doc.at("results").as_array())
         out.results.push_back(row_from_json(row));
     // The coverage matrix and population statistics are deliberately not
@@ -133,6 +177,8 @@ campaign_result result_from_json(const json_value& doc) {
 }
 
 campaign_result read_result_file(const std::string& path) {
+    const telemetry::scoped_span span(telemetry::category::shard,
+                                      "shard.read");
     std::ifstream in(path, std::ios::binary);
     if (!in.good())
         throw contract_violation("cannot read shard file: " + path);
@@ -148,6 +194,8 @@ campaign_result read_result_file(const std::string& path) {
 
 bool write_result_file(const std::string& path,
                        const campaign_result& result) {
+    const telemetry::scoped_span span(telemetry::category::shard,
+                                      "shard.write");
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
     if (!out.good())
         return false;

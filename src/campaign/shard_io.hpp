@@ -26,7 +26,8 @@
 namespace sdrbist::campaign {
 
 /// Shard-file layout version; read_result rejects other versions loudly.
-inline constexpr int shard_file_version = 1;
+/// v2: added the per-category `telemetry` aggregate block.
+inline constexpr int shard_file_version = 2;
 
 /// Serialise a campaign result (typically one shard's) with full fidelity.
 /// Deterministic: fixed field order, shortest round-trip doubles — so

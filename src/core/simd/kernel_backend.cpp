@@ -8,6 +8,7 @@
 #include <string>
 
 #include "core/contracts.hpp"
+#include "core/telemetry.hpp"
 
 namespace sdrbist::simd {
 
@@ -110,6 +111,10 @@ bool kernel_backend::supported(const kernel_ops& ops) {
 }
 
 const kernel_ops& kernel_backend::select() {
+    // One dispatch per consumer construction (tables are captured once),
+    // so this counts how often the kernel tables get handed out — not
+    // per-kernel-call, which would put telemetry inside the hot loops.
+    telemetry::count(telemetry::counter::simd_dispatches);
     const kernel_ops* cur = g_active.load(std::memory_order_acquire);
     if (cur != nullptr)
         return *cur;

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/contracts.hpp"
+#include "core/telemetry.hpp"
 
 namespace sdrbist {
 
@@ -32,7 +33,7 @@ public:
             threads = default_thread_count();
         workers_.reserve(threads);
         for (std::size_t i = 0; i < threads; ++i)
-            workers_.emplace_back([this] { worker_loop(); });
+            workers_.emplace_back([this, i] { worker_loop(i); });
     }
 
     thread_pool(const thread_pool&) = delete;
@@ -69,23 +70,43 @@ public:
             const std::lock_guard<std::mutex> lock(mutex_);
             SDRBIST_EXPECTS(!stopping_);
             queue_.emplace_back([task] { (*task)(); });
+            telemetry::count_max(telemetry::counter::pool_queue_high_water,
+                                 queue_.size());
         }
         cv_.notify_one();
         return future;
     }
 
 private:
-    void worker_loop() {
+    void worker_loop(std::size_t worker_index) {
+        bool named = false;
         for (;;) {
+            // Label lazily, not at thread start: telemetry is usually
+            // enabled after the pool exists (CLI flag before run()).
+            if (telemetry::active() && !named) {
+                telemetry::set_thread_name("worker-" +
+                                           std::to_string(worker_index));
+                named = true;
+            }
             std::function<void()> job;
             {
                 std::unique_lock<std::mutex> lock(mutex_);
-                cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+                {
+                    // Idle span: cv_.wait releases the lock while blocked,
+                    // so this measures genuine starvation, not contention.
+                    const telemetry::scoped_span idle(
+                        telemetry::category::idle, "pool.idle");
+                    cv_.wait(lock,
+                             [this] { return stopping_ || !queue_.empty(); });
+                }
                 if (queue_.empty())
                     return; // stopping and drained
                 job = std::move(queue_.front());
                 queue_.pop_front();
             }
+            telemetry::count(telemetry::counter::pool_tasks);
+            const telemetry::scoped_span task(telemetry::category::worker,
+                                              "pool.task");
             job(); // packaged_task captures exceptions into the future
         }
     }
