@@ -27,7 +27,9 @@
 #include "campaign/cache.hpp"
 #include "campaign/campaign.hpp"
 #include "campaign/export.hpp"
+#include "campaign/journal.hpp"
 #include "campaign/shard_io.hpp"
+#include "core/fault_injection.hpp"
 #include "core/build_info.hpp"
 #include "core/simd/kernel_backend.hpp"
 #include "core/table.hpp"
@@ -123,8 +125,26 @@ void usage() {
         "  --shard-out PATH  write this run's full-fidelity result file\n"
         "                    (the --merge input; no shared cache needed)\n"
         "  --merge F...      merge shard result files instead of running\n"
+        "  --salvage         with --merge: quarantine unreadable shard\n"
+        "                    files and drop bad rows instead of failing\n"
         "  --cache-dir PATH  scenario result cache: rerunning an\n"
         "                    overlapping grid skips graded scenarios\n"
+        "  --max-retries N   re-run a scenario up to N times after a\n"
+        "                    transient failure (default 2; contract\n"
+        "                    violations are never retried)\n"
+        "  --retry-backoff-ms X  base delay before a retry, doubling per\n"
+        "                    attempt (default 1)\n"
+        "  --deadline-s X    per-scenario wall-clock budget; an overrun\n"
+        "                    marks the scenario failed-timeout without\n"
+        "                    killing the campaign (default: none)\n"
+        "  --journal PATH    append each completed scenario to a crash-safe\n"
+        "                    JSONL journal (the --resume input)\n"
+        "  --resume PATH     replay a journal from a killed run, computing\n"
+        "                    only the missing scenarios (implies --journal\n"
+        "                    PATH: the run keeps appending to it)\n"
+        "  --fault-spec SPEC arm deterministic fault injection, e.g.\n"
+        "                    'stage.calibration:throw-transient:p=0.05,\n"
+        "                    seed=7' (see also SDRBIST_FAULT_SPEC)\n"
         "  --json PATH       write the full campaign JSON\n"
         "  --csv PATH        write the coverage-matrix CSV\n"
         "  --scenarios PATH  write the per-scenario CSV\n"
@@ -143,7 +163,9 @@ void usage() {
         "                    SIMD backends, format versions) and exit\n"
         "  --list-presets    print the preset catalogue and exit\n"
         "  --list-backends   print the SIMD kernel backends and exit\n"
-        "  --help            this text\n";
+        "  --help            this text\n"
+        "exit codes: 0 success, 1 artefact write failure, 2 usage error,\n"
+        "            3 campaign finished but scenarios failed\n";
 }
 
 /// Parse "i/N" into a shard_spec; exits with a usage error when malformed.
@@ -340,7 +362,11 @@ int report_and_export(const campaign::campaign_result& result,
               << " hits, " << result.cache_misses << " misses\n"
               << "stage reuse:               " << result.stage_reuse_hits
               << " adopted, " << result.stage_reuse_computes
-              << " computed\n";
+              << " computed\n"
+              << "recovery:                  " << result.scenario_retries
+              << " retried, " << result.scenario_gave_up << " gave up, "
+              << result.resumed << " resumed, " << result.quarantined
+              << " quarantined\n";
     if (show_counters)
         print_telemetry(result);
 
@@ -392,7 +418,9 @@ int report_and_export(const campaign::campaign_result& result,
                   << telemetry::trace_event_count() << " events)\n";
     }
 
-    return engine_errors ? 1 : 0;
+    // 3, not 1: distinguishes "campaign completed but scenarios failed"
+    // from an artefact write failure so retry wrappers can tell them apart.
+    return engine_errors ? 3 : 0;
 }
 
 int run_cli(int argc, char** argv) {
@@ -416,6 +444,7 @@ int run_cli(int argc, char** argv) {
         shard_out_path, trace_out_path;
     std::vector<std::string> preset_names, fault_names, merge_paths;
     bool merge_mode = false;
+    bool salvage_mode = false;
     bool show_counters = false;
     bool show_build_info = false;
     campaign::export_options export_opt;
@@ -467,8 +496,28 @@ int run_cli(int argc, char** argv) {
             shard_out_path = value();
         } else if (arg == "--merge") {
             merge_mode = true;
+        } else if (arg == "--salvage") {
+            salvage_mode = true;
         } else if (arg == "--cache-dir") {
             cfg.cache_dir = value();
+        } else if (arg == "--max-retries") {
+            cfg.max_retries = parse_count(arg, value());
+        } else if (arg == "--retry-backoff-ms") {
+            cfg.retry_backoff_ms = parse_double(arg, value());
+        } else if (arg == "--deadline-s") {
+            cfg.scenario_deadline_s = parse_double(arg, value());
+        } else if (arg == "--journal") {
+            cfg.journal_path = value();
+        } else if (arg == "--resume") {
+            cfg.journal_path = value();
+            cfg.resume = true;
+        } else if (arg == "--fault-spec") {
+            try {
+                fault_injection::arm(value());
+            } catch (const std::exception& e) {
+                std::cerr << "--fault-spec: " << e.what() << "\n";
+                return 2;
+            }
         } else if (arg == "--json") {
             json_path = value();
         } else if (arg == "--csv") {
@@ -510,13 +559,35 @@ int run_cli(int argc, char** argv) {
             std::cerr << "--merge needs at least two shard files\n";
             return 2;
         }
-        std::vector<campaign::campaign_result> shards;
-        shards.reserve(merge_paths.size());
-        for (const auto& path : merge_paths)
-            shards.push_back(campaign::read_result_file(path));
-        const auto merged = campaign::merge_results(shards);
-        std::cout << "merged " << merge_paths.size() << " shards: "
-                  << merged.scenario_count() << " scenarios\n\n";
+        campaign::campaign_result merged;
+        if (salvage_mode) {
+            campaign::salvage_stats stats;
+            const auto shards =
+                campaign::read_result_files_salvage(merge_paths, stats);
+            if (shards.empty()) {
+                std::cerr << "--salvage: no readable shard files\n";
+                return 3;
+            }
+            merged = campaign::merge_results_salvage(shards, stats);
+            std::cout << "salvage-merged " << shards.size() << " of "
+                      << merge_paths.size() << " shards: "
+                      << merged.scenario_count() << " scenarios ("
+                      << stats.quarantined_files << " files quarantined, "
+                      << stats.skipped_shards << " shards skipped, "
+                      << stats.duplicate_rows << " duplicate rows dropped, "
+                      << stats.missing_rows << " rows missing)\n";
+            for (const auto& note : stats.notes)
+                std::cout << "  salvage: " << note << "\n";
+            std::cout << "\n";
+        } else {
+            std::vector<campaign::campaign_result> shards;
+            shards.reserve(merge_paths.size());
+            for (const auto& path : merge_paths)
+                shards.push_back(campaign::read_result_file(path));
+            merged = campaign::merge_results(shards);
+            std::cout << "merged " << merge_paths.size() << " shards: "
+                      << merged.scenario_count() << " scenarios\n\n";
+        }
         return report_and_export(merged, export_opt, json_path, csv_path,
                                  scenarios_path, shard_out_path, jsonl_path,
                                  trace_out_path, show_counters);

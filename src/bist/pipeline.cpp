@@ -5,6 +5,7 @@
 
 #include "bist/config_canonical.hpp"
 #include "core/contracts.hpp"
+#include "core/fault_injection.hpp"
 #include "core/stats.hpp"
 #include "core/telemetry.hpp"
 #include "core/units.hpp"
@@ -48,6 +49,7 @@ adc::bp_tiadc make_programmed_sampler(const bist_config& config) {
 stimulus_output run_stimulus(const bist_config& config) {
     const telemetry::scoped_span span(telemetry::category::stage_stimulus,
                                       "stimulus");
+    fault_injection::fire(fault_injection::site::stage_stimulus);
     stimulus_output out;
 
     const double nominal_carrier = config.preset.default_carrier_hz;
@@ -109,6 +111,7 @@ tx_capture_output run_tx_capture(const bist_config& config,
                                  const stimulus_output& stim) {
     const telemetry::scoped_span span(telemetry::category::stage_tx_capture,
                                       "tx-capture");
+    fault_injection::fire(fault_injection::site::stage_tx_capture);
     tx_capture_output out;
 
     const double b = config.tiadc.channel_rate_hz;
@@ -194,6 +197,7 @@ calibration_output run_calibration(const bist_config& config,
                                    const tx_capture_output& cap) {
     const telemetry::scoped_span span(telemetry::category::stage_calibration,
                                       "calibration");
+    fault_injection::fire(fault_injection::site::stage_calibration);
     SDRBIST_EXPECTS(cap.dual_rate_conditions_ok);
     calibration_output out;
 
@@ -217,6 +221,7 @@ reconstruction_output run_reconstruction(const bist_config& config,
                                          const calibration_output& cal) {
     const telemetry::scoped_span span(
         telemetry::category::stage_reconstruction, "reconstruction");
+    fault_injection::fire(fault_injection::site::stage_reconstruction);
     reconstruction_output out;
 
     const double b = config.tiadc.channel_rate_hz;
@@ -273,6 +278,7 @@ grading_output run_grading(const bist_config& config,
                            const reconstruction_output& recon) {
     const telemetry::scoped_span span(telemetry::category::stage_grading,
                                       "grading");
+    fault_injection::fire(fault_injection::site::stage_grading);
     grading_output out;
 
     const double occ_graded = stim.occupied_bw_graded_hz;

@@ -15,6 +15,7 @@
 
 #include "bist/config_canonical.hpp"
 #include "core/contracts.hpp"
+#include "core/fault_injection.hpp"
 #include "core/hash.hpp"
 #include "core/telemetry.hpp"
 
@@ -370,27 +371,38 @@ std::optional<scenario_result>
 scenario_cache::load(const std::string& key) const {
     const telemetry::scoped_span span(telemetry::category::cache,
                                       "cache.load");
-    std::ifstream in(path_for(key), std::ios::binary);
-    if (!in.good())
-        return std::nullopt; // plain miss
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    try {
-        const json_value doc = parse_json(buffer.str());
-        if (static_cast<int>(doc.at("cache_version").as_number()) !=
-                cache_format_version ||
-            doc.at("key").as_string() != key)
-            return std::nullopt;
-        scenario_result out;
-        out.engine_error = doc.at("engine_error").as_bool();
-        out.error = doc.at("error").as_string();
-        out.elapsed_s = num_or_nan(doc.at("elapsed_s"));
-        out.report = report_from_json(doc.at("report"));
-        return out;
-    } catch (const std::exception&) {
-        // Corrupt or truncated entry: treat as a miss and re-grade.
-        return std::nullopt;
+    fault_injection::fire(fault_injection::site::cache_load);
+    bool corrupt = false;
+    {
+        std::ifstream in(path_for(key), std::ios::binary);
+        if (!in.good())
+            return std::nullopt; // plain miss
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        try {
+            const json_value doc = parse_json(buffer.str());
+            if (static_cast<int>(doc.at("cache_version").as_number()) !=
+                cache_format_version)
+                return std::nullopt; // stale entry — cache-gc's business
+            if (doc.at("key").as_string() == key) {
+                scenario_result out;
+                out.engine_error = doc.at("engine_error").as_bool();
+                out.error = doc.at("error").as_string();
+                out.elapsed_s = num_or_nan(doc.at("elapsed_s"));
+                out.report = report_from_json(doc.at("report"));
+                return out;
+            }
+            corrupt = true; // parses, but is not the entry its name claims
+        } catch (const std::exception&) {
+            corrupt = true; // truncated / garbled / fields missing
+        }
     }
+    // Treat as a miss and re-grade — but move the wreck into quarantine/
+    // first, so the re-graded store lands in a clean slot and the evidence
+    // survives for inspection.
+    if (corrupt && quarantine_file(path_for(key)))
+        quarantined_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
 }
 
 void scenario_cache::store(const std::string& key,
@@ -429,9 +441,15 @@ void scenario_cache::store(const std::string& key,
         path_for(key) + ".tmp." + fnv1a64::hex_digest(process_tag) + "." +
         std::to_string(sequence.fetch_add(1, std::memory_order_relaxed));
     try {
+        // Injected store faults degrade to "entry not cached" — exactly
+        // the contract a real I/O failure gets.
+        fault_injection::fire(fault_injection::site::cache_store);
+        std::string body = doc.str();
+        body += '\n';
+        fault_injection::corrupt(fault_injection::site::cache_store, body);
         {
             std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-            out << doc.str() << '\n';
+            out << body;
             out.flush();
             if (!out.good()) {
                 std::error_code ec;
@@ -447,6 +465,20 @@ void scenario_cache::store(const std::string& key,
         std::error_code ec;
         fs::remove(tmp, ec);
     }
+}
+
+bool quarantine_file(const std::string& file) {
+    std::error_code ec;
+    const fs::path src(file);
+    const fs::path dir = src.parent_path() / "quarantine";
+    fs::create_directories(dir, ec);
+    if (ec)
+        return false;
+    fs::path dst = dir / src.filename();
+    for (int n = 1; fs::exists(dst, ec) && n < 1000; ++n)
+        dst = dir / (src.filename().string() + "." + std::to_string(n));
+    fs::rename(src, dst, ec);
+    return !ec;
 }
 
 } // namespace sdrbist::campaign

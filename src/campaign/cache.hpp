@@ -24,6 +24,7 @@
 /// version-mismatched entries read as misses and are re-graded.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -58,6 +59,10 @@ public:
     /// Load a cached outcome.  Only `report`, `engine_error`, `error` and
     /// `elapsed_s` are meaningful in the returned value — the caller owns
     /// the scenario coordinates.  nullopt on miss/corruption/version skew.
+    /// A corrupt entry (truncated, garbled, key mismatch) is additionally
+    /// moved to `<dir>/quarantine/` and counted, so reruns re-grade into a
+    /// clean slot instead of re-parsing the wreck; version-skewed entries
+    /// are *not* corrupt — they stay put for `cache-gc`.
     [[nodiscard]] std::optional<scenario_result>
     load(const std::string& key) const;
 
@@ -71,9 +76,23 @@ public:
 
     [[nodiscard]] const std::string& dir() const { return dir_; }
 
+    /// Corrupt entries this instance has quarantined (the runner folds
+    /// this into `campaign_result::quarantined`).
+    [[nodiscard]] std::size_t quarantined() const {
+        return quarantined_.load(std::memory_order_relaxed);
+    }
+
 private:
     std::string dir_;
+    mutable std::atomic<std::size_t> quarantined_{0};
 };
+
+/// Move `file` into a `quarantine/` directory beside it (collisions get a
+/// numeric suffix).  Shared by the cache, the shard salvage reader and
+/// anything else that must get a corrupt input out of the way without
+/// destroying the evidence.  Returns false when the move failed (the file
+/// is left in place).
+bool quarantine_file(const std::string& file);
 
 // ---------------------------------------------------------------------------
 // Cache lifecycle tooling (the CLI's `cache-stats` / `cache-gc`).

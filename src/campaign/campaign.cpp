@@ -12,10 +12,14 @@
 #include <unordered_map>
 #include <utility>
 
+#include <thread>
+
 #include "bist/config_canonical.hpp"
 #include "bist/pipeline.hpp"
 #include "campaign/cache.hpp"
+#include "campaign/journal.hpp"
 #include "core/contracts.hpp"
+#include "core/fault_injection.hpp"
 #include "core/random.hpp"
 #include "core/telemetry.hpp"
 #include "core/thread_pool.hpp"
@@ -53,6 +57,7 @@ void aggregate(campaign_result& out) {
     out.golden_runs = out.golden_passes = 0;
     out.fault_runs = out.fault_detected = 0;
     out.scenario_cpu_s = 0.0;
+    out.scenario_retries = out.scenario_gave_up = 0;
     for (const auto& r : out.results) {
         SDRBIST_EXPECTS(r.sc.preset_index < out.preset_names.size());
         SDRBIST_EXPECTS(r.sc.fault_index < out.fault_names.size());
@@ -70,6 +75,10 @@ void aggregate(campaign_result& out) {
                 ++out.fault_detected;
         }
         out.scenario_cpu_s += r.elapsed_s;
+        if (r.attempts > 1)
+            out.scenario_retries += r.attempts - 1;
+        if (r.gave_up)
+            ++out.scenario_gave_up;
     }
 }
 
@@ -148,6 +157,20 @@ public:
                 promise->set_value(compute());
             } catch (...) {
                 promise->set_exception(std::current_exception());
+                // Re-arm the slot so a *retrying* consumer recomputes
+                // instead of inheriting this attempt's failure forever.
+                // Waiters already holding the future still observe the
+                // exception (the shared state outlives the promise), but
+                // the next acquire starts a fresh compute — transient
+                // faults stay per-attempt, while deterministic ones just
+                // recur identically on the retry.
+                const std::lock_guard<std::mutex> lock(mutex_);
+                const auto it = slots_.find(digest);
+                if (it != slots_.end()) {
+                    it->second.promise = {};
+                    it->second.future = {};
+                    it->second.started = false;
+                }
             }
         } else if (telemetry::active() &&
                    future.wait_for(std::chrono::seconds(0)) !=
@@ -365,6 +388,9 @@ campaign_runner::campaign_runner(campaign_config config)
     SDRBIST_EXPECTS(config_.trials >= 1);
     SDRBIST_EXPECTS(config_.shard.count >= 1);
     SDRBIST_EXPECTS(config_.shard.index < config_.shard.count);
+    SDRBIST_EXPECTS(config_.retry_backoff_ms >= 0.0);
+    SDRBIST_EXPECTS(config_.scenario_deadline_s >= 0.0);
+    SDRBIST_EXPECTS(!config_.resume || !config_.journal_path.empty());
 }
 
 campaign_result campaign_runner::run(const run_hooks& hooks) const {
@@ -407,6 +433,60 @@ campaign_result campaign_runner::run(const run_hooks& hooks) const {
     std::atomic<std::size_t> hits{0};
     std::atomic<std::size_t> misses{0};
 
+    out.results.resize(grid.size());
+
+    // Crash-recovery journal.  On resume, rows whose content digest still
+    // matches what this config derives are restored in place; everything
+    // else (including gave-up / timed-out rows, which are never
+    // journalled) is recomputed.  The journal writer truncates any torn
+    // trailing line from the crash before appending.
+    std::optional<campaign_journal> journal;
+    std::vector<char> done(grid.size(), 0);
+    std::size_t resumed_count = 0;
+    if (!config_.journal_path.empty()) {
+        const std::string identity = campaign_identity(config_);
+        if (config_.resume) {
+            journal_replay replay = read_journal(config_.journal_path);
+            SDRBIST_EXPECTS(replay.identity == identity);
+            std::unordered_map<std::size_t, std::size_t> local;
+            for (std::size_t i = 0; i < grid.size(); ++i)
+                local.emplace(grid[i].index, i);
+            for (auto& row : replay.rows) {
+                const auto it = local.find(row.result.sc.index);
+                if (it == local.end() || done[it->second])
+                    continue;
+                if (row.result.gave_up || row.result.timed_out)
+                    continue; // environment-dependent verdicts: recompute
+                bool valid = false;
+                try {
+                    valid = row.key ==
+                            scenario_cache::key(
+                                grid[it->second],
+                                scenario_config(config_, grid[it->second]));
+                } catch (const std::exception&) {
+                    // The config is rejected deterministically; the
+                    // journalled row must be the matching rejection (it
+                    // could never compute a key either).
+                    valid = row.key.empty() && row.result.engine_error;
+                }
+                if (!valid)
+                    continue;
+                scenario_result& slot = out.results[it->second];
+                slot = std::move(row.result);
+                slot.sc = grid[it->second];
+                done[it->second] = 1;
+                ++resumed_count;
+            }
+        }
+        journal.emplace(config_.journal_path, identity, config_.resume);
+        // Restored rows are final now — observers see them exactly like
+        // freshly-graded ones (the JSONL stream re-emits every row).
+        if (hooks.on_scenario)
+            for (std::size_t i = 0; i < grid.size(); ++i)
+                if (done[i])
+                    hooks.on_scenario(out.results[i]);
+    }
+
     // Stage-pool plan: compute the shareable-prefix digests of every
     // scenario this process grades, and pool only the digests more than
     // one scenario needs.  A scenario whose materialisation throws here
@@ -424,6 +504,8 @@ campaign_result campaign_runner::run(const run_hooks& hooks) const {
                                                "campaign.plan");
         digests.assign(grid.size(), stage_digests{});
         for (std::size_t i = 0; i < grid.size(); ++i) {
+            if (done[i])
+                continue; // resumed rows never consume pooled stages
             try {
                 const bist::bist_config materialised =
                     scenario_config(config_, grid[i]);
@@ -439,84 +521,162 @@ campaign_result campaign_runner::run(const run_hooks& hooks) const {
     }
     const bool pooling = !digests.empty();
 
-    // Execute: each job reads the shared config and writes only its own
-    // grid-indexed slot, so thread count cannot affect any result.
-    out.results.resize(grid.size());
+    // Execute the rows the journal did not already cover: each job reads
+    // the shared config and writes only its own grid-indexed slot, so
+    // thread count cannot affect any result.
+    std::vector<std::size_t> pending;
+    pending.reserve(grid.size());
+    for (std::size_t i = 0; i < grid.size(); ++i)
+        if (!done[i])
+            pending.push_back(i);
     const auto wall_start = clock::now();
     if (!grid.empty()) {
-        // Never spawn more workers than there are scenarios.
+        // Never spawn more workers than there are scenarios.  Report the
+        // grid-sized width even when a resume leaves fewer rows pending,
+        // so a resumed run's deterministic exports match the original's.
         const std::size_t requested =
             config_.threads ? config_.threads
                             : thread_pool::default_thread_count();
-        thread_pool pool(std::min(requested, grid.size()));
-        out.threads_used = pool.size();
-        parallel_for_index(pool, grid.size(), [&](std::size_t i) {
+        out.threads_used = std::min(requested, grid.size());
+    }
+    if (!pending.empty()) {
+        thread_pool pool(std::min(out.threads_used, pending.size()));
+        parallel_for_index(pool, pending.size(), [&](std::size_t pi) {
+            const std::size_t i = pending[pi];
             scenario_result& slot = out.results[i];
             slot.sc = grid[i];
+            // One span covers the whole scenario, retries and backoff
+            // included — the span count per run stays one per scenario.
             const telemetry::scoped_span scenario_span(
                 telemetry::category::scenario, "scenario", grid[i].index);
-            const auto t0 = clock::now();
+            const auto scenario_start = clock::now();
             std::string key;
             bool hit = false;
-            bool cacheable = true;
-            // Only scenario materialisation and the engine run belong in
-            // the try: a throwing observer hook must propagate (and abort
-            // the campaign), never be recorded as this scenario's engine
-            // error — that would poison the cache entry.
-            try {
-                const bist::bist_config materialised =
-                    scenario_config(config_, grid[i]);
-                if (cache) {
-                    key = scenario_cache::key(grid[i], materialised);
-                    if (auto cached = cache->load(key)) {
-                        // Restore the graded outcome; `elapsed_s` keeps the
-                        // original grading cost, not the lookup cost, so
-                        // `scenario_cpu_s` still reports what the grid
-                        // costs to compute.
-                        slot.report = std::move(cached->report);
-                        slot.engine_error = cached->engine_error;
-                        slot.error = std::move(cached->error);
-                        slot.elapsed_s = cached->elapsed_s;
-                        hit = true;
+            // Retry loop: transient failures re-run the attempt with
+            // bounded deterministic backoff; contract violations are
+            // deterministic rejections and break out immediately.
+            for (std::size_t attempt = 1;; ++attempt) {
+                slot.attempts = attempt;
+                bool transient = false;
+                const auto t0 = clock::now();
+                // Only scenario materialisation and the engine run belong
+                // in the try: a throwing observer hook must propagate (and
+                // abort the campaign), never be recorded as this
+                // scenario's engine error — that would poison the cache
+                // entry.
+                try {
+                    fault_injection::fire(
+                        fault_injection::site::pool_dispatch);
+                    const bist::bist_config materialised =
+                        scenario_config(config_, grid[i]);
+                    // `key.empty()`, not `attempt == 1`: a transient
+                    // thrown before the key was derived (dispatch probe,
+                    // config materialisation, the load itself) must not
+                    // leave a later successful attempt key-less — the
+                    // retried result still gets cached below.
+                    if (cache && key.empty()) {
+                        key = scenario_cache::key(grid[i], materialised);
+                        if (auto cached = cache->load(key)) {
+                            // Restore the graded outcome; `elapsed_s`
+                            // keeps the original grading cost, not the
+                            // lookup cost, so `scenario_cpu_s` still
+                            // reports what the grid costs to compute.
+                            slot.report = std::move(cached->report);
+                            slot.engine_error = cached->engine_error;
+                            slot.error = std::move(cached->error);
+                            slot.elapsed_s = cached->elapsed_s;
+                            hit = true;
+                        }
                     }
-                }
-                if (!hit) {
-                    if (pooling) {
-                        slot.report = run_with_pool(materialised, digests[i],
-                                                    share_depth, shared);
-                    } else {
-                        const bist::bist_engine engine(materialised);
-                        slot.report = engine.run();
+                    if (!hit) {
+                        // A retry starts clean: only the final attempt's
+                        // outcome is this scenario's verdict.
+                        slot.engine_error = false;
+                        slot.error.clear();
+                        if (pooling) {
+                            slot.report = run_with_pool(
+                                materialised, digests[i], share_depth,
+                                shared);
+                        } else {
+                            const bist::bist_engine engine(materialised);
+                            slot.report = engine.run();
+                        }
                     }
+                } catch (const contract_violation& e) {
+                    // Deterministic config rejection: re-running
+                    // reproduces it, so it is final (and safe to cache).
+                    slot.engine_error = true;
+                    slot.error = e.what();
+                    telemetry::count(telemetry::counter::scenario_failures);
+                } catch (const std::exception& e) {
+                    // Possibly transient (resource exhaustion, I/O,
+                    // injected fault): candidate for a retry.
+                    slot.engine_error = true;
+                    slot.error = e.what();
+                    transient = true;
+                    telemetry::count(telemetry::counter::scenario_failures);
                 }
-            } catch (const contract_violation& e) {
-                // Deterministic config rejection: re-running reproduces it,
-                // so the verdict is safe to cache.
-                slot.engine_error = true;
-                slot.error = e.what();
-            } catch (const std::exception& e) {
-                // Possibly transient (resource exhaustion, I/O): record the
-                // failure for this run, but never persist it — a cached
-                // error would flag this scenario on every warm rerun.
-                slot.engine_error = true;
-                slot.error = e.what();
-                cacheable = false;
+                if (!hit)
+                    slot.elapsed_s =
+                        std::chrono::duration<double>(clock::now() - t0)
+                            .count();
+                if (!hit && config_.scenario_deadline_s > 0.0 &&
+                    std::chrono::duration<double>(clock::now() -
+                                                  scenario_start)
+                            .count() > config_.scenario_deadline_s) {
+                    // Over budget — failed-timeout, campaign continues.
+                    slot.timed_out = true;
+                    slot.engine_error = true;
+                    if (slot.error.empty())
+                        slot.error = "scenario deadline exceeded";
+                    break;
+                }
+                if (!transient)
+                    break;
+                if (attempt > config_.max_retries) {
+                    slot.gave_up = true;
+                    telemetry::count(telemetry::counter::scenario_gave_up);
+                    break;
+                }
+                telemetry::count(telemetry::counter::scenario_retries);
+                const double delay_ms =
+                    config_.retry_backoff_ms *
+                    static_cast<double>(
+                        1ull << std::min<std::size_t>(attempt - 1, 20));
+                slot.backoff_ms += delay_ms;
+                if (delay_ms > 0.0)
+                    std::this_thread::sleep_for(
+                        std::chrono::duration<double, std::milli>(delay_ms));
             }
             // Give up this scenario's claims on pooled stage results no
             // matter how it finished (cache hit, error, success): the last
             // claim frees the slot.
             if (pooling)
                 shared.release(digests[i]);
+            // A gave-up or timed-out verdict is environment-dependent —
+            // never persisted, so a rerun (or resume) re-attempts it.
+            const bool deterministic = !slot.gave_up && !slot.timed_out;
             if (hit) {
                 hits.fetch_add(1, std::memory_order_relaxed);
                 telemetry::count(telemetry::counter::cache_hits);
             } else {
-                slot.elapsed_s =
-                    std::chrono::duration<double>(clock::now() - t0).count();
                 misses.fetch_add(1, std::memory_order_relaxed);
                 telemetry::count(telemetry::counter::cache_misses);
-                if (cache && !key.empty() && cacheable)
+                if (cache && !key.empty() && deterministic)
                     cache->store(key, slot);
+            }
+            if (journal && deterministic) {
+                std::string journal_key = key;
+                if (journal_key.empty()) {
+                    try {
+                        journal_key = scenario_cache::key(
+                            grid[i], scenario_config(config_, grid[i]));
+                    } catch (const std::exception&) {
+                        // Deterministic rejection: journalled with an
+                        // empty key; resume re-validates the same way.
+                    }
+                }
+                journal->append(journal_key, slot);
             }
             if (hooks.on_scenario)
                 hooks.on_scenario(slot);
@@ -526,6 +686,8 @@ campaign_result campaign_runner::run(const run_hooks& hooks) const {
         std::chrono::duration<double>(clock::now() - wall_start).count();
     out.cache_hits = hits.load();
     out.cache_misses = misses.load();
+    out.resumed = resumed_count;
+    out.quarantined = cache ? cache->quarantined() : 0;
     out.stage_reuse_hits = shared.hits.load();
     out.stage_reuse_computes = shared.computes.load();
     if (telemetry_on)
@@ -536,9 +698,17 @@ campaign_result campaign_runner::run(const run_hooks& hooks) const {
     return out;
 }
 
-campaign_result merge_results(const std::vector<campaign_result>& shards) {
+namespace {
+
+/// Shared core of the strict and salvage merges.  `salvage == nullptr`
+/// keeps the historical contract (any inconsistency throws);  otherwise
+/// inconsistencies are dropped, counted and noted, and incomplete
+/// coverage yields a partial result.
+campaign_result merge_impl(const std::vector<campaign_result>& shards,
+                           salvage_stats* salvage) {
     const telemetry::scoped_span span(telemetry::category::shard,
                                       "shard.merge");
+    fault_injection::fire(fault_injection::site::shard_merge);
     SDRBIST_EXPECTS(!shards.empty());
     const campaign_result& first = shards.front();
 
@@ -552,13 +722,27 @@ campaign_result merge_results(const std::vector<campaign_result>& shards) {
     out.grid_size = first.grid_size;
 
     std::size_t total_rows = 0;
-    for (const auto& shard : shards) {
+    std::vector<const campaign_result*> usable;
+    usable.reserve(shards.size());
+    for (std::size_t s = 0; s < shards.size(); ++s) {
+        const campaign_result& shard = shards[s];
         // Every shard must describe the same campaign.
-        SDRBIST_EXPECTS(shard.preset_names == out.preset_names);
-        SDRBIST_EXPECTS(shard.fault_names == out.fault_names);
-        SDRBIST_EXPECTS(shard.trials == out.trials);
-        SDRBIST_EXPECTS(shard.seed == out.seed);
-        SDRBIST_EXPECTS(shard.grid_size == out.grid_size);
+        if (salvage == nullptr) {
+            SDRBIST_EXPECTS(shard.preset_names == out.preset_names);
+            SDRBIST_EXPECTS(shard.fault_names == out.fault_names);
+            SDRBIST_EXPECTS(shard.trials == out.trials);
+            SDRBIST_EXPECTS(shard.seed == out.seed);
+            SDRBIST_EXPECTS(shard.grid_size == out.grid_size);
+        } else if (shard.preset_names != out.preset_names ||
+                   shard.fault_names != out.fault_names ||
+                   shard.trials != out.trials || shard.seed != out.seed ||
+                   shard.grid_size != out.grid_size) {
+            ++salvage->skipped_shards;
+            salvage->notes.push_back("skipped shard " + std::to_string(s) +
+                                     ": campaign axes do not match shard 0");
+            continue;
+        }
+        usable.push_back(&shard);
         total_rows += shard.results.size();
         // Measured fields combine conservatively: the merged wall time is
         // the sequential-equivalent sum (shards may have run anywhere).
@@ -568,24 +752,64 @@ campaign_result merge_results(const std::vector<campaign_result>& shards) {
         out.cache_misses += shard.cache_misses;
         out.stage_reuse_hits += shard.stage_reuse_hits;
         out.stage_reuse_computes += shard.stage_reuse_computes;
+        out.resumed += shard.resumed;
+        out.quarantined += shard.quarantined;
         out.telemetry_summary.merge_from(shard.telemetry_summary);
     }
-    SDRBIST_EXPECTS(total_rows == out.grid_size);
+    if (salvage == nullptr)
+        SDRBIST_EXPECTS(total_rows == out.grid_size);
 
     // Scatter rows back into grid order; duplicate or out-of-range indices
-    // are contract violations (two shards graded the same scenario).
+    // mean two shards graded the same scenario — contract violations on
+    // the strict path, dropped (first shard wins) when salvaging.
     out.results.resize(out.grid_size);
     std::vector<bool> filled(out.grid_size, false);
-    for (const auto& shard : shards)
-        for (const auto& r : shard.results) {
-            SDRBIST_EXPECTS(r.sc.index < out.grid_size);
-            SDRBIST_EXPECTS(!filled[r.sc.index]);
+    std::size_t filled_count = 0;
+    for (const campaign_result* shard : usable)
+        for (const auto& r : shard->results) {
+            if (salvage == nullptr) {
+                SDRBIST_EXPECTS(r.sc.index < out.grid_size);
+                SDRBIST_EXPECTS(!filled[r.sc.index]);
+            } else if (r.sc.index >= out.grid_size || filled[r.sc.index]) {
+                ++salvage->duplicate_rows;
+                salvage->notes.push_back(
+                    r.sc.index >= out.grid_size
+                        ? "dropped out-of-range scenario row " +
+                              std::to_string(r.sc.index)
+                        : "dropped duplicate scenario row " +
+                              std::to_string(r.sc.index));
+                continue;
+            }
             filled[r.sc.index] = true;
+            ++filled_count;
             out.results[r.sc.index] = r;
         }
+    if (salvage != nullptr && filled_count < out.grid_size) {
+        salvage->missing_rows = out.grid_size - filled_count;
+        std::vector<scenario_result> partial;
+        partial.reserve(filled_count);
+        for (std::size_t i = 0; i < out.grid_size; ++i)
+            if (filled[i])
+                partial.push_back(std::move(out.results[i]));
+        out.results = std::move(partial);
+    }
 
     aggregate(out);
     return out;
+}
+
+} // namespace
+
+campaign_result merge_results(const std::vector<campaign_result>& shards) {
+    return merge_impl(shards, nullptr);
+}
+
+campaign_result merge_results_salvage(const std::vector<campaign_result>& shards,
+                                      salvage_stats& stats) {
+    // Shard 0 is the axis reference, so at least one shard always merges;
+    // unreadable *files* never get this far (read_result_files_salvage
+    // quarantines them).
+    return merge_impl(shards, &stats);
 }
 
 } // namespace sdrbist::campaign

@@ -114,6 +114,32 @@ struct campaign_config {
     /// config (see campaign/cache.hpp), so overlapping grids and repeated
     /// runs skip already-graded scenarios.
     std::string cache_dir;
+
+    // Failure containment (see also core/fault_injection.hpp, which makes
+    // these paths testable on demand).
+
+    /// Transient (`std::exception`) engine failures are re-run up to this
+    /// many extra attempts per scenario.  Contract violations are
+    /// deterministic rejections and are never retried.  0 disables retry.
+    std::size_t max_retries = 2;
+    /// Base of the bounded deterministic backoff between attempts: retry
+    /// k sleeps `retry_backoff_ms * 2^(k-1)` milliseconds (recorded in
+    /// `scenario_result::backoff_ms`).
+    double retry_backoff_ms = 1.0;
+    /// Per-scenario wall-clock budget in seconds, covering every attempt
+    /// plus backoff.  An over-budget scenario is marked failed
+    /// (`timed_out`) without killing the campaign; its verdict is
+    /// environment-dependent, so it is never cached or journalled.
+    /// 0 = no deadline.
+    double scenario_deadline_s = 0.0;
+    /// Crash-recovery journal path (see campaign/journal.hpp); empty = no
+    /// journal.  Completed scenarios are appended as fsync'd JSONL lines.
+    std::string journal_path;
+    /// Resume from `journal_path`: previously journalled scenarios are
+    /// restored (after their content digests re-validate) and only the
+    /// missing rows are computed — exports are byte-identical to an
+    /// uninterrupted run.  Requires `journal_path`.
+    bool resume = false;
 };
 
 /// One expanded grid row.
@@ -133,7 +159,15 @@ struct scenario_result {
     bist::bist_report report{};
     bool engine_error = false; ///< config rejected / engine threw
     std::string error;         ///< exception text when engine_error
-    double elapsed_s = 0.0;    ///< wall time of this scenario's engine run
+    double elapsed_s = 0.0;    ///< wall time of the last engine attempt
+
+    // Failure-containment accounting (attempts >= 1 always; > 1 means the
+    // retry loop engaged).  A `gave_up` or `timed_out` row also has
+    // `engine_error` set and carries the last attempt's error text.
+    std::size_t attempts = 1; ///< engine attempts consumed
+    double backoff_ms = 0.0;  ///< total deterministic backoff slept
+    bool gave_up = false;     ///< still transient-failing after every retry
+    bool timed_out = false;   ///< scenario_deadline_s exceeded
 
     /// FAIL verdict (an injected fault should flip this to true).
     [[nodiscard]] bool flagged() const { return engine_error || !report.pass(); }
@@ -182,6 +216,17 @@ struct campaign_result {
     // level, independent of thread count and completion order.
     std::size_t stage_reuse_hits = 0;     ///< pooled stage results adopted
     std::size_t stage_reuse_computes = 0; ///< pooled stage results computed
+
+    // Failure-containment accounting.  `scenario_retries` (sum of
+    // attempts-1 over the rows) and `scenario_gave_up` are derived from
+    // the scenario rows, so they merge through shards for free; `resumed`
+    // and `quarantined` are per-run measured data like the cache counters
+    // (a resumed rerun flips computes into restores) and sum across
+    // shards.
+    std::size_t scenario_retries = 0; ///< attempts re-run after transients
+    std::size_t scenario_gave_up = 0; ///< rows that exhausted every retry
+    std::size_t resumed = 0;          ///< rows restored from a journal
+    std::size_t quarantined = 0;      ///< corrupt input files quarantined
 
     // Telemetry window of this run: per-category span aggregates (stage
     // costs, pool waits, cache I/O, worker idle) captured between run
@@ -245,7 +290,8 @@ bist::bist_config scenario_config(const campaign_config& cfg,
 /// Observers the runner invokes while a campaign executes.
 struct run_hooks {
     /// Called once per scenario the moment its result slot is final
-    /// (engine run finished or cache hit).  Invoked concurrently from
+    /// (engine run finished, cache hit, or restored from a resumed
+    /// journal).  Invoked concurrently from
     /// worker threads in completion order — the callee must synchronise
     /// (campaign::jsonl_stream does).  The reference is only valid for the
     /// duration of the call.
@@ -278,5 +324,30 @@ private:
 /// Measured fields are combined conservatively: wall times and cache
 /// counters sum, `threads_used` takes the maximum.
 campaign_result merge_results(const std::vector<campaign_result>& shards);
+
+/// What the lenient merge dropped or papered over (all zero on clean
+/// input).  `notes` holds one human-readable line per incident.
+struct salvage_stats {
+    std::size_t quarantined_files = 0; ///< unreadable files moved aside
+    std::size_t skipped_shards = 0;    ///< shards with mismatched axes
+    std::size_t duplicate_rows = 0;    ///< conflicting rows dropped
+    std::size_t missing_rows = 0;      ///< grid rows no shard covered
+    std::vector<std::string> notes;
+
+    [[nodiscard]] bool clean() const {
+        return quarantined_files == 0 && skipped_shards == 0 &&
+               duplicate_rows == 0 && missing_rows == 0;
+    }
+};
+
+/// Lenient variant of `merge_results` for salvaging partially-failed
+/// distributed runs: shards with mismatched axes are skipped, duplicate
+/// or out-of-range scenario rows are dropped (first shard wins), and
+/// incomplete coverage yields a *partial* merged result
+/// (`results.size() < grid_size`) instead of a contract violation.  Every
+/// concession is counted in `stats`.  Still throws when `shards` is empty
+/// or no shard is usable.
+campaign_result merge_results_salvage(const std::vector<campaign_result>& shards,
+                                      salvage_stats& stats);
 
 } // namespace sdrbist::campaign

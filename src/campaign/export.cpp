@@ -65,8 +65,15 @@ std::string scenario_json(const scenario_result& r, const export_options& opt) {
     o.bool_field("power_pass", r.report.power_pass);
     o.number_field("measured_output_rms", r.report.measured_output_rms);
     o.number_field("occupied_bw_hz", r.report.occupied_bw_hz);
-    if (opt.include_timing)
+    if (opt.include_timing) {
         o.number_field("elapsed_s", r.elapsed_s);
+        // Retry bookkeeping is measured data too: a warm (cache-hit) or
+        // resumed rerun takes one attempt where the cold run retried.
+        o.size_field("attempts", r.attempts);
+        o.number_field("backoff_ms", r.backoff_ms);
+        o.bool_field("gave_up", r.gave_up);
+        o.bool_field("timed_out", r.timed_out);
+    }
     return o.str();
 }
 
@@ -145,6 +152,10 @@ std::string summary_json(const campaign_result& result,
         o.size_field("cache_misses", result.cache_misses);
         o.size_field("stage_reuse_hits", result.stage_reuse_hits);
         o.size_field("stage_reuse_computes", result.stage_reuse_computes);
+        o.size_field("scenario_retries", result.scenario_retries);
+        o.size_field("scenario_gave_up", result.scenario_gave_up);
+        o.size_field("resumed", result.resumed);
+        o.size_field("quarantined", result.quarantined);
         o.number_field("wall_seconds", result.wall_s);
     }
     return o.str();
@@ -203,6 +214,13 @@ std::string to_json(const campaign_result& result, export_options opt) {
             o.size_field("stage_reuse_hits", result.stage_reuse_hits);
             o.size_field("stage_reuse_computes",
                          result.stage_reuse_computes);
+            // Failure-containment counters: retries depend on injected or
+            // real transient faults, resume/quarantine on on-disk history
+            // — none are properties of the grid itself.
+            o.size_field("scenario_retries", result.scenario_retries);
+            o.size_field("scenario_gave_up", result.scenario_gave_up);
+            o.size_field("resumed", result.resumed);
+            o.size_field("quarantined", result.quarantined);
             if (!result.telemetry_summary.empty())
                 o.field("telemetry",
                         telemetry_json(result.telemetry_summary));
@@ -267,7 +285,7 @@ std::string scenarios_csv(const campaign_result& result, export_options opt) {
                       "mask_worst_margin_db,acpr_worst_dbc,skew_estimate_s,"
                       "error";
     if (opt.include_timing)
-        out += ",elapsed_s";
+        out += ",elapsed_s,attempts";
     out += '\n';
     for (const auto& r : result.results) {
         out += format_size(r.sc.index);
@@ -294,6 +312,8 @@ std::string scenarios_csv(const campaign_result& result, export_options opt) {
         if (opt.include_timing) {
             out += ',';
             out += json_number(r.elapsed_s);
+            out += ',';
+            out += format_size(r.attempts);
         }
         out += '\n';
     }

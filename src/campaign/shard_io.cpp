@@ -6,6 +6,7 @@
 
 #include "campaign/cache.hpp"
 #include "core/contracts.hpp"
+#include "core/fault_injection.hpp"
 #include "core/telemetry.hpp"
 
 namespace sdrbist::campaign {
@@ -49,22 +50,6 @@ std::vector<std::string> name_array_from_json(const json_value& v) {
     return out;
 }
 
-std::string row_json(const scenario_result& r) {
-    json_object_writer o;
-    o.size_field("index", r.sc.index);
-    o.size_field("preset_index", r.sc.preset_index);
-    o.size_field("fault_index", r.sc.fault_index);
-    o.size_field("trial", r.sc.trial);
-    o.string_field("preset", r.sc.preset_name);
-    o.string_field("fault", bist::to_string(r.sc.fault));
-    o.string_field("seed", std::to_string(r.sc.seed));
-    o.bool_field("engine_error", r.engine_error);
-    o.string_field("error", r.error);
-    o.number_field("elapsed_s", r.elapsed_s);
-    o.field("report", report_json(r.report));
-    return o.str();
-}
-
 /// Per-category aggregates, in category declaration order.  The ns fields
 /// travel as decimal strings: totals can exceed the 53 bits a JSON number
 /// round-trips, and shard files promise write(read(x)) == write(x).
@@ -102,7 +87,29 @@ telemetry::summary telemetry_block_from_json(const json_value& v) {
     return out;
 }
 
-scenario_result row_from_json(const json_value& v) {
+} // namespace
+
+std::string scenario_row_json(const scenario_result& r) {
+    json_object_writer o;
+    o.size_field("index", r.sc.index);
+    o.size_field("preset_index", r.sc.preset_index);
+    o.size_field("fault_index", r.sc.fault_index);
+    o.size_field("trial", r.sc.trial);
+    o.string_field("preset", r.sc.preset_name);
+    o.string_field("fault", bist::to_string(r.sc.fault));
+    o.string_field("seed", std::to_string(r.sc.seed));
+    o.bool_field("engine_error", r.engine_error);
+    o.string_field("error", r.error);
+    o.number_field("elapsed_s", r.elapsed_s);
+    o.size_field("attempts", r.attempts);
+    o.number_field("backoff_ms", r.backoff_ms);
+    o.bool_field("gave_up", r.gave_up);
+    o.bool_field("timed_out", r.timed_out);
+    o.field("report", report_json(r.report));
+    return o.str();
+}
+
+scenario_result scenario_row_from_json(const json_value& v) {
     scenario_result r;
     r.sc.index = size_of(v.at("index"));
     r.sc.preset_index = size_of(v.at("preset_index"));
@@ -114,11 +121,13 @@ scenario_result row_from_json(const json_value& v) {
     r.engine_error = v.at("engine_error").as_bool();
     r.error = v.at("error").as_string();
     r.elapsed_s = num_or_nan(v.at("elapsed_s"));
+    r.attempts = size_of(v.at("attempts"));
+    r.backoff_ms = num_or_nan(v.at("backoff_ms"));
+    r.gave_up = v.at("gave_up").as_bool();
+    r.timed_out = v.at("timed_out").as_bool();
     r.report = report_from_json(v.at("report"));
     return r;
 }
-
-} // namespace
 
 std::string result_to_json(const campaign_result& result) {
     json_object_writer doc;
@@ -137,12 +146,14 @@ std::string result_to_json(const campaign_result& result) {
     doc.size_field("cache_misses", result.cache_misses);
     doc.size_field("stage_reuse_hits", result.stage_reuse_hits);
     doc.size_field("stage_reuse_computes", result.stage_reuse_computes);
+    doc.size_field("resumed", result.resumed);
+    doc.size_field("quarantined", result.quarantined);
     doc.field("telemetry", telemetry_block_json(result.telemetry_summary));
     std::string rows = "[";
     for (std::size_t i = 0; i < result.results.size(); ++i) {
         if (i)
             rows += ',';
-        rows += row_json(result.results[i]);
+        rows += scenario_row_json(result.results[i]);
     }
     rows += ']';
     doc.field("results", rows);
@@ -167,9 +178,11 @@ campaign_result result_from_json(const json_value& doc) {
     out.cache_misses = size_of(doc.at("cache_misses"));
     out.stage_reuse_hits = size_of(doc.at("stage_reuse_hits"));
     out.stage_reuse_computes = size_of(doc.at("stage_reuse_computes"));
+    out.resumed = size_of(doc.at("resumed"));
+    out.quarantined = size_of(doc.at("quarantined"));
     out.telemetry_summary = telemetry_block_from_json(doc.at("telemetry"));
     for (const auto& row : doc.at("results").as_array())
-        out.results.push_back(row_from_json(row));
+        out.results.push_back(scenario_row_from_json(row));
     // The coverage matrix and population statistics are deliberately not
     // stored: merge_results() re-derives them from the rows through the
     // same aggregation path an unsharded run uses.
@@ -179,6 +192,7 @@ campaign_result result_from_json(const json_value& doc) {
 campaign_result read_result_file(const std::string& path) {
     const telemetry::scoped_span span(telemetry::category::shard,
                                       "shard.read");
+    fault_injection::fire(fault_injection::site::shard_read);
     std::ifstream in(path, std::ios::binary);
     if (!in.good())
         throw contract_violation("cannot read shard file: " + path);
@@ -196,12 +210,38 @@ bool write_result_file(const std::string& path,
                        const campaign_result& result) {
     const telemetry::scoped_span span(telemetry::category::shard,
                                       "shard.write");
+    fault_injection::fire(fault_injection::site::shard_write);
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
     if (!out.good())
         return false;
-    out << result_to_json(result) << '\n';
+    std::string body = result_to_json(result);
+    body += '\n';
+    fault_injection::corrupt(fault_injection::site::shard_write, body);
+    out << body;
     out.flush();
     return out.good();
+}
+
+std::vector<campaign_result>
+read_result_files_salvage(const std::vector<std::string>& paths,
+                          salvage_stats& stats) {
+    std::vector<campaign_result> out;
+    out.reserve(paths.size());
+    for (const std::string& path : paths) {
+        try {
+            out.push_back(read_result_file(path));
+        } catch (const std::exception& e) {
+            // Unreadable, truncated, garbled or version-skewed: move the
+            // file aside so reruns do not trip over it, and keep merging.
+            ++stats.quarantined_files;
+            std::string note = "quarantined shard file " + path + ": ";
+            note += e.what();
+            if (!quarantine_file(path))
+                note += " (quarantine move failed; left in place)";
+            stats.notes.push_back(std::move(note));
+        }
+    }
+    return out;
 }
 
 } // namespace sdrbist::campaign

@@ -27,7 +27,9 @@ namespace sdrbist::campaign {
 
 /// Shard-file layout version; read_result rejects other versions loudly.
 /// v2: added the per-category `telemetry` aggregate block.
-inline constexpr int shard_file_version = 2;
+/// v3: failure-containment fields — per-row attempts/backoff_ms/gave_up/
+///     timed_out, per-result resumed/quarantined.
+inline constexpr int shard_file_version = 3;
 
 /// Serialise a campaign result (typically one shard's) with full fidelity.
 /// Deterministic: fixed field order, shortest round-trip doubles — so
@@ -40,11 +42,28 @@ std::string result_to_json(const campaign_result& result);
 /// contract_violation on version or structure mismatches.
 campaign_result result_from_json(const json_value& doc);
 
+/// One scenario row with full fidelity — the unit the shard file, the
+/// crash-recovery journal (campaign/journal.hpp) and any future
+/// distributed transport share.  Deterministic field order; 64-bit values
+/// travel as decimal strings.
+std::string scenario_row_json(const scenario_result& r);
+scenario_result scenario_row_from_json(const json_value& v);
+
 /// File convenience wrappers.  `read_result_file` throws
 /// contract_violation when the file is missing or malformed;
 /// `write_result_file` returns false when the file cannot be written.
 campaign_result read_result_file(const std::string& path);
 [[nodiscard]] bool write_result_file(const std::string& path,
                                      const campaign_result& result);
+
+/// Lenient multi-file read for salvaging partially-failed distributed
+/// runs (`campaign_runner --merge --salvage`): a file that is missing,
+/// truncated, garbled or version-skewed is moved to a `quarantine/`
+/// directory beside it (see campaign/cache.hpp) and skipped, counted in
+/// `stats.quarantined_files` with a note — instead of failing the whole
+/// merge.  Pair with `merge_results_salvage` for row-level leniency.
+std::vector<campaign_result>
+read_result_files_salvage(const std::vector<std::string>& paths,
+                          salvage_stats& stats);
 
 } // namespace sdrbist::campaign

@@ -80,8 +80,12 @@ enum class counter : int {
     pool_idle_ns,         ///< summed worker idle time (ns)
     pool_queue_high_water, ///< deepest task queue observed (max, not sum)
     simd_dispatches,      ///< kernel_backend::select() table dispatches
+    scenario_retries,     ///< scenario attempts re-run after a transient
+                          ///< failure (campaign retry loop)
+    scenario_failures,    ///< scenario attempts that ended in an error
+    scenario_gave_up,     ///< scenarios still failing after every retry
 };
-inline constexpr std::size_t counter_count = 9;
+inline constexpr std::size_t counter_count = 12;
 
 /// Stable export name ("cache.hits", "pool.queue_high_water", ...).
 const char* to_string(counter c);

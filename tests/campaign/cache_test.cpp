@@ -11,23 +11,14 @@
 #include "campaign/campaign.hpp"
 #include "campaign/export.hpp"
 #include "core/contracts.hpp"
+#include "support/scratch_dir.hpp"
 
 namespace {
 
 namespace fs = std::filesystem;
 using namespace sdrbist;
 using namespace sdrbist::campaign;
-
-/// Unique scratch directory in the test working directory, removed on
-/// scope exit (tests run concurrently under ctest -j).
-struct scratch_dir {
-    explicit scratch_dir(const std::string& name)
-        : path(fs::path("cache_test_tmp") / name) {
-        fs::remove_all(path);
-    }
-    ~scratch_dir() { fs::remove_all(path); }
-    fs::path path;
-};
+using sdrbist::testing::scratch_dir;
 
 campaign_config small_campaign() {
     campaign_config cfg;

@@ -214,7 +214,7 @@ TEST(CampaignExport, ScenariosCsvRoundTrips) {
     const auto& result = tiny_campaign_result();
     const auto rows = parse_csv(scenarios_csv(result));
     ASSERT_EQ(rows.size(), 1u + result.results.size());
-    ASSERT_EQ(rows[0].size(), 12u); // includes elapsed_s by default
+    ASSERT_EQ(rows[0].size(), 13u); // includes elapsed_s/attempts by default
     for (std::size_t i = 0; i < result.results.size(); ++i) {
         const auto& cells = rows[i + 1];
         EXPECT_EQ(cells[0], std::to_string(i));

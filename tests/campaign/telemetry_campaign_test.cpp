@@ -15,6 +15,7 @@
 #include "campaign/export.hpp"
 #include "campaign/shard_io.hpp"
 #include "core/telemetry.hpp"
+#include "support/scratch_dir.hpp"
 
 namespace {
 
@@ -37,14 +38,7 @@ protected:
     }
 };
 
-struct scratch_dir {
-    explicit scratch_dir(const std::string& name)
-        : path(fs::path("telemetry_test_tmp") / name) {
-        fs::remove_all(path);
-    }
-    ~scratch_dir() { fs::remove_all(path); }
-    fs::path path;
-};
+using sdrbist::testing::scratch_dir;
 
 campaign_config small_campaign() {
     campaign_config cfg;

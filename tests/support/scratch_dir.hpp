@@ -1,0 +1,51 @@
+/// \file scratch_dir.hpp
+/// \brief Self-cleaning per-test scratch directory for suites that touch
+///        the filesystem (cache, journal, shard files, quarantine).
+///
+/// Lives under the system temp directory, not the test working directory:
+/// a test binary run from the repo root must never leave droppings in the
+/// source tree (the original ad-hoc helpers parented scratch space at
+/// `./<suite>_tmp/`, which survived aborted runs as stray repo-root
+/// directories).  The directory name folds in the process id so parallel
+/// `ctest -j` invocations of different binaries cannot collide; within a
+/// process, each test names its own subdirectory.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include <sys/types.h>
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace sdrbist::testing {
+
+struct scratch_dir {
+    explicit scratch_dir(const std::string& name) {
+#if defined(__unix__) || defined(__APPLE__)
+        const std::string pid = std::to_string(::getpid());
+#else
+        const std::string pid = "0";
+#endif
+        path = std::filesystem::temp_directory_path() / "sdrbist-tests" /
+               (name + "-" + pid);
+        std::filesystem::remove_all(path);
+        std::filesystem::create_directories(path);
+    }
+    ~scratch_dir() {
+        std::error_code ec; // destructor must not throw
+        std::filesystem::remove_all(path, ec);
+    }
+    scratch_dir(const scratch_dir&) = delete;
+    scratch_dir& operator=(const scratch_dir&) = delete;
+
+    /// Path of a file/subdirectory inside the scratch space.
+    [[nodiscard]] std::string file(const std::string& rel) const {
+        return (path / rel).string();
+    }
+
+    std::filesystem::path path;
+};
+
+} // namespace sdrbist::testing
