@@ -1,9 +1,10 @@
 /// \file campaign_runner.cpp
 /// \brief Production-style campaign CLI: expand a standard × fault ×
-///        Monte-Carlo grid, execute it on a thread pool with stage-shared
-///        scenario pipelines, print the fault-coverage matrix and export
-///        structured artefacts.  Also merges shard result files from
-///        independent processes and manages the scenario result cache.
+///        Monte-Carlo grid, execute it as a task DAG on a work-stealing
+///        scheduler with stage-shared scenario pipelines, print the
+///        fault-coverage matrix and export structured artefacts.  Also
+///        merges shard result files from independent processes and
+///        manages the scenario result cache.
 ///
 /// Examples:
 ///   campaign_runner --trials 3 --threads 8 --json campaign.json
@@ -111,6 +112,11 @@ void usage() {
         "                    pipeline stages then shared across trials),\n"
         "                    off (legacy: every scenario keeps base seeds)\n"
         "  --threads N       worker threads (default: hardware)\n"
+        "  --schedule S      scenario scheduler: dag (task graph with\n"
+        "                    work stealing; pooled stage owners run as\n"
+        "                    graph nodes, default) or queue (flat scenario\n"
+        "                    list, consumers block on pooled stages;\n"
+        "                    escape hatch scheduled for removal)\n"
         "  --seed S          campaign master seed\n"
         "  --jitter-sigma X  log-normal per-trial jitter spread\n"
         "  --dcde-sigma-ps X gaussian per-trial DCDE static-error spread\n"
@@ -179,6 +185,15 @@ campaign::shard_spec parse_shard(const std::string& text) {
             return shard;
     }
     std::cerr << "--shard needs i/N with 0 <= i < N, got '" << text << "'\n";
+    std::exit(2);
+}
+
+campaign::scheduler_kind parse_schedule(const std::string& text) {
+    if (text == "dag")
+        return campaign::scheduler_kind::dag;
+    if (text == "queue")
+        return campaign::scheduler_kind::queue;
+    std::cerr << "--schedule needs dag|queue, got '" << text << "'\n";
     std::exit(2);
 }
 
@@ -478,6 +493,8 @@ int run_cli(int argc, char** argv) {
             cfg.reseed = parse_reseed(value());
         } else if (arg == "--threads") {
             cfg.threads = parse_count(arg, value());
+        } else if (arg == "--schedule") {
+            cfg.schedule = parse_schedule(value());
         } else if (arg == "--seed") {
             cfg.seed = parse_count(arg, value(), 0);
         } else if (arg == "--jitter-sigma") {

@@ -7,6 +7,7 @@
 #include <cmath>
 #include <exception>
 #include <future>
+#include <limits>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
@@ -21,8 +22,8 @@
 #include "core/contracts.hpp"
 #include "core/fault_injection.hpp"
 #include "core/random.hpp"
+#include "core/task_scheduler.hpp"
 #include "core/telemetry.hpp"
-#include "core/thread_pool.hpp"
 
 namespace sdrbist::campaign {
 
@@ -86,13 +87,25 @@ void aggregate(campaign_result& out) {
 // Stage pool: planned cross-scenario sharing of pipeline-stage results.
 //
 // The runner computes every scenario's stage input digests up front and
-// keeps one slot per digest that has MORE than one consumer.  The first
-// worker to reach a slot computes the stage (on its own session) and
-// publishes the shared snapshot; later workers adopt it.  Every consumer —
-// including ones served from the scenario result cache, which never touch
-// the pool — releases its claim when its scenario finishes, and the slot
-// is freed with the last release, so retained memory is bounded by the
-// overlap that is still live.
+// keeps one slot per digest that has MORE than one consumer.  Two fill
+// disciplines share the same slots:
+//
+//  * queue schedule — the first worker to reach a slot computes the stage
+//    (on its own session) and publishes the shared snapshot via a
+//    promise/shared_future; later workers block and adopt (`acquire`).
+//  * dag schedule — a dedicated owner node per slot computes the stage
+//    before any consumer runs (graph dependency), so consumers `peek` the
+//    finished snapshot without ever blocking.  Cache probes register
+//    per-slot demand first, letting owners skip stages no pending
+//    consumer needs, and the lowest-indexed demander is *credited*: its
+//    adoption stands in for the compute in the reuse accounting, which
+//    keeps `stage.adopts`/`stage.computes` identical to the queue
+//    schedule (where the computing consumer is a real consumer).
+//
+// Every consumer — including ones served from the scenario result cache,
+// which never touch the pool — releases its claim when its scenario
+// finishes, and the slot is freed with the last release, so retained
+// memory is bounded by the overlap that is still live.
 // ---------------------------------------------------------------------------
 
 /// The shareable prefix of the pipeline (grading is always terminal).
@@ -100,21 +113,39 @@ constexpr std::array<bist::stage, 4> shareable_stages{
     bist::stage::stimulus, bist::stage::tx_capture,
     bist::stage::calibration, bist::stage::reconstruction};
 
+/// Outcome of a DAG owner node's publish (see stage_slot_map::publish).
+enum class publish_status {
+    skipped,  ///< no pending consumer demanded the slot (warm cache)
+    computed, ///< snapshot published; counts the slot's one compute
+    halted,   ///< the flow never reaches this stage; null published
+    failed,   ///< compute threw; consumers rethrow it on attempt 1
+};
+
 template <typename T>
 class stage_slot_map {
 public:
     /// Plan phase (single-threaded): register one expected consumer.
-    void expect(std::uint64_t digest) { ++expected_[digest]; }
+    void expect(std::uint64_t digest, std::size_t consumer) {
+        plan& p = expected_[digest];
+        ++p.consumers;
+        p.owner = std::min(p.owner, consumer);
+    }
 
     /// End of plan phase: digests with a single consumer are dropped —
-    /// they would cost retention without ever being reused.
-    void finalise_plan() {
+    /// they would cost retention without ever being reused.  With
+    /// `auto_demand` (dag schedule, no cache probes) every slot is marked
+    /// demanded up front and the lowest planned consumer is credited.
+    void finalise_plan(bool auto_demand) {
         for (auto it = expected_.begin(); it != expected_.end();) {
-            if (it->second < 2) {
+            if (it->second.consumers < 2) {
                 it = expected_.erase(it);
             } else {
-                slots_.try_emplace(it->first).first->second.remaining =
-                    it->second;
+                slot& s = slots_.try_emplace(it->first).first->second;
+                s.remaining = it->second.consumers;
+                if (auto_demand) {
+                    s.demanded = true;
+                    s.credited = it->second.owner;
+                }
                 ++it;
             }
         }
@@ -185,6 +216,78 @@ public:
         return {future.get(), promise == nullptr};
     }
 
+    // --- dag schedule -----------------------------------------------------
+
+    /// Probe phase: consumer `index` announces it was not served by the
+    /// scenario cache and will adopt this slot.  Runs strictly before the
+    /// slot's owner node (graph dependency).  No-op for un-pooled digests.
+    void demand(std::uint64_t digest, std::size_t index) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = slots_.find(digest);
+        if (it == slots_.end())
+            return;
+        it->second.demanded = true;
+        it->second.credited = std::min(it->second.credited, index);
+    }
+
+    /// Owner node: run `compute` and publish its snapshot (or the
+    /// exception it threw) exactly once, before any consumer peeks.
+    /// Undemanded slots (every consumer was a cache hit) skip the compute
+    /// so a warm run does no stage work — same as the queue schedule,
+    /// where nobody would have acquired.
+    template <typename Fn>
+    publish_status publish(std::uint64_t digest, Fn&& compute) {
+        slot* s = nullptr;
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            const auto it = slots_.find(digest);
+            SDRBIST_EXPECTS(it != slots_.end());
+            // The slot cannot be erased while its consumers' main nodes —
+            // all graph-ordered after this node — still hold claims, and
+            // unordered_map references are stable.
+            s = &it->second;
+            if (!s->demanded) {
+                s->done = true;
+                return publish_status::skipped;
+            }
+        }
+        std::shared_ptr<const T> value;
+        std::exception_ptr error;
+        try {
+            value = compute();
+        } catch (...) {
+            error = std::current_exception();
+        }
+        const std::lock_guard<std::mutex> lock(mutex_);
+        s->value = value;
+        s->error = error;
+        s->done = true;
+        return error ? publish_status::failed
+                     : (value ? publish_status::computed
+                              : publish_status::halted);
+    }
+
+    /// A published slot as its consumers see it.  A null snapshot with no
+    /// error marks a flow that halts before this stage (so the adopting
+    /// scenario's will too).
+    struct published_view {
+        std::shared_ptr<const T> snapshot;
+        std::exception_ptr error;
+        std::size_t credited = std::numeric_limits<std::size_t>::max();
+    };
+
+    /// Consumer-side read of a published slot; the graph guarantees the
+    /// owner node already ran.
+    [[nodiscard]] published_view peek(std::uint64_t digest) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = slots_.find(digest);
+        SDRBIST_EXPECTS(it != slots_.end());
+        SDRBIST_EXPECTS(it->second.done);
+        return {it->second.value, it->second.error, it->second.credited};
+    }
+
+    // ----------------------------------------------------------------------
+
     /// One consumer is done with this digest; frees the slot on the last
     /// release.  No-op for digests that were never pooled.
     void release(std::uint64_t digest) {
@@ -197,14 +300,25 @@ public:
     }
 
 private:
+    struct plan {
+        std::size_t consumers = 0;
+        std::size_t owner = std::numeric_limits<std::size_t>::max();
+    };
     struct slot {
         std::size_t remaining = 0;
+        // queue schedule
         bool started = false;
         std::promise<std::shared_ptr<const T>> promise;
         std::shared_future<std::shared_ptr<const T>> future;
+        // dag schedule
+        bool demanded = false;
+        bool done = false;
+        std::size_t credited = std::numeric_limits<std::size_t>::max();
+        std::shared_ptr<const T> value;
+        std::exception_ptr error;
     };
     std::mutex mutex_;
-    std::unordered_map<std::uint64_t, std::size_t> expected_;
+    std::unordered_map<std::uint64_t, plan> expected_;
     std::unordered_map<std::uint64_t, slot> slots_;
 };
 
@@ -220,17 +334,42 @@ struct stage_pool {
     std::atomic<std::size_t> hits{0};
     std::atomic<std::size_t> computes{0};
 
-    void expect(const stage_digests& d, int depth) {
-        if (depth > 0) stimulus.expect(d[0]);
-        if (depth > 1) tx_capture.expect(d[1]);
-        if (depth > 2) calibration.expect(d[2]);
-        if (depth > 3) reconstruction.expect(d[3]);
+    void expect(const stage_digests& d, int depth, std::size_t consumer) {
+        if (depth > 0) stimulus.expect(d[0], consumer);
+        if (depth > 1) tx_capture.expect(d[1], consumer);
+        if (depth > 2) calibration.expect(d[2], consumer);
+        if (depth > 3) reconstruction.expect(d[3], consumer);
     }
-    void finalise_plan() {
-        stimulus.finalise_plan();
-        tx_capture.finalise_plan();
-        calibration.finalise_plan();
-        reconstruction.finalise_plan();
+    void finalise_plan(bool auto_demand) {
+        stimulus.finalise_plan(auto_demand);
+        tx_capture.finalise_plan(auto_demand);
+        calibration.finalise_plan(auto_demand);
+        reconstruction.finalise_plan(auto_demand);
+    }
+    void demand(const stage_digests& d, int depth, std::size_t consumer) {
+        if (depth > 0) stimulus.demand(d[0], consumer);
+        if (depth > 1) tx_capture.demand(d[1], consumer);
+        if (depth > 2) calibration.demand(d[2], consumer);
+        if (depth > 3) reconstruction.demand(d[3], consumer);
+    }
+    [[nodiscard]] bool pooled_at(int level, const stage_digests& d) const {
+        switch (level) {
+        case 0: return stimulus.pooled(d[0]);
+        case 1: return tx_capture.pooled(d[1]);
+        case 2: return calibration.pooled(d[2]);
+        case 3: return reconstruction.pooled(d[3]);
+        default: return false;
+        }
+    }
+    /// Deepest pooled prefix level of `d` (-1 = none).  The prefix-digest
+    /// chain makes consumer sets monotone along the pipeline, so pooling
+    /// always covers a contiguous prefix.
+    [[nodiscard]] int deepest_pooled(const stage_digests& d,
+                                     int depth) const {
+        int deepest = -1;
+        for (int k = 0; k < depth && pooled_at(k, d); ++k)
+            deepest = k;
+        return deepest;
     }
     void release(const stage_digests& d) {
         stimulus.release(d[0]);
@@ -285,6 +424,132 @@ bist::bist_report run_with_pool(const bist::bist_config& materialised,
         depth > 3 &&
         adopt(pool.reconstruction, bist::stage::reconstruction,
               &S::share_reconstruction, &S::adopt_reconstruction);
+    static_cast<void>(go);
+
+    session.run();
+    return session.report();
+}
+
+/// DAG owner node: compute pooled slot (`level`, `digests[level]`) on a
+/// session built from the owning scenario's config — any consumer's would
+/// do, equal digests guarantee equal stage inputs — adopting the already
+/// published upstream slots (graph dependencies ran first).  Publishes the
+/// snapshot, a null (the flow halts before this stage; every consumer's
+/// halts identically), or the exception (consumers rethrow it as their own
+/// attempt-1 failure, so the retry path stays per-scenario).  A successful
+/// demanded compute books the single `stage.computes` the queue schedule
+/// would have attributed to its first consumer.
+void run_owner_node(const campaign_config& cfg, const scenario& owner_sc,
+                    const stage_digests& digests, int level,
+                    stage_pool& pool) {
+    using S = bist::bist_session;
+    const auto compute = [&](auto& slot_map, bist::stage target,
+                             auto share_fn) {
+        using result_t = decltype((std::declval<S&>().*share_fn)());
+        const publish_status status = slot_map.publish(
+            digests[bist::stage_index(target)], [&]() -> result_t {
+                S session(scenario_config(cfg, owner_sc));
+                const auto adopt = [&](auto& upstream, bist::stage s,
+                                       auto adopt_fn) -> bool {
+                    const auto v =
+                        upstream.peek(digests[bist::stage_index(s)]);
+                    if (v.error)
+                        std::rethrow_exception(v.error);
+                    if (!v.snapshot)
+                        return false;
+                    (session.*adopt_fn)(v.snapshot);
+                    return true;
+                };
+                const int idx = bist::stage_index(target);
+                bool go = true;
+                if (go && idx > 0)
+                    go = adopt(pool.stimulus, bist::stage::stimulus,
+                               &S::adopt_stimulus);
+                if (go && idx > 1)
+                    go = adopt(pool.tx_capture, bist::stage::tx_capture,
+                               &S::adopt_tx_capture);
+                if (go && idx > 2)
+                    go = adopt(pool.calibration, bist::stage::calibration,
+                               &S::adopt_calibration);
+                if (!go)
+                    return result_t{}; // upstream halted: cascade the null
+                session.run_until(target);
+                return (session.*share_fn)();
+            });
+        if (status == publish_status::computed) {
+            pool.computes.fetch_add(1, std::memory_order_relaxed);
+            telemetry::count(telemetry::counter::stage_computes);
+        }
+    };
+    switch (level) {
+    case 0:
+        compute(pool.stimulus, bist::stage::stimulus, &S::share_stimulus);
+        break;
+    case 1:
+        compute(pool.tx_capture, bist::stage::tx_capture,
+                &S::share_tx_capture);
+        break;
+    case 2:
+        compute(pool.calibration, bist::stage::calibration,
+                &S::share_calibration);
+        break;
+    case 3:
+        compute(pool.reconstruction, bist::stage::reconstruction,
+                &S::share_reconstruction);
+        break;
+    default:
+        break;
+    }
+}
+
+/// Run one scenario's pipeline under the dag schedule: every pooled
+/// prefix slot was published by its owner node before this runs, so
+/// adoption is a lock-peek, never a wait.  Attempt 1 inherits a failed
+/// owner's exception exactly like a queue-schedule waiter would; retries
+/// stop adopting at the failed level and compute privately instead (the
+/// slot is not re-armed — transient faults stay per-attempt).  The
+/// credited consumer's adoption books no `stage.adopts`: it stands in for
+/// the compute the owner node already booked.
+bist::bist_report run_with_dag(const bist::bist_config& materialised,
+                               const stage_digests& digests, int depth,
+                               stage_pool& pool, std::size_t attempt,
+                               std::size_t my_index) {
+    bist::bist_session session(materialised);
+    const auto adopt = [&](auto& slot_map, bist::stage s,
+                           auto adopt_fn) -> bool {
+        const std::uint64_t digest = digests[bist::stage_index(s)];
+        if (!slot_map.pooled(digest))
+            return false;
+        const auto v = slot_map.peek(digest);
+        if (v.error) {
+            if (attempt <= 1)
+                std::rethrow_exception(v.error);
+            return false; // retry computes the prefix privately
+        }
+        if (!v.snapshot)
+            return false; // donor halted before this stage; so will we
+        telemetry::count(telemetry::counter::sched_adopt_fastpath);
+        if (v.credited != my_index) {
+            pool.hits.fetch_add(1, std::memory_order_relaxed);
+            telemetry::count(telemetry::counter::stage_adopts);
+        }
+        (session.*adopt_fn)(v.snapshot);
+        return true;
+    };
+
+    using S = bist::bist_session;
+    const bool go =
+        depth > 0 &&
+        adopt(pool.stimulus, bist::stage::stimulus, &S::adopt_stimulus) &&
+        depth > 1 &&
+        adopt(pool.tx_capture, bist::stage::tx_capture,
+              &S::adopt_tx_capture) &&
+        depth > 2 &&
+        adopt(pool.calibration, bist::stage::calibration,
+              &S::adopt_calibration) &&
+        depth > 3 &&
+        adopt(pool.reconstruction, bist::stage::reconstruction,
+              &S::adopt_reconstruction);
     static_cast<void>(go);
 
     session.run();
@@ -512,12 +777,15 @@ campaign_result campaign_runner::run(const run_hooks& hooks) const {
                 for (std::size_t k = 0; k < shareable_stages.size(); ++k)
                     digests[i][k] = bist::stage_input_digest(
                         materialised, shareable_stages[k]);
-                shared.expect(digests[i], share_depth);
+                shared.expect(digests[i], share_depth, i);
             } catch (const std::exception&) {
                 digests[i] = stage_digests{};
             }
         }
-        shared.finalise_plan();
+        // Without cache probes every planned consumer is a real one, so
+        // slots are demanded up front (the queue schedule never reads the
+        // demand fields at all).
+        shared.finalise_plan(!cache);
     }
     const bool pooling = !digests.empty();
 
@@ -536,13 +804,21 @@ campaign_result campaign_runner::run(const run_hooks& hooks) const {
         // so a resumed run's deterministic exports match the original's.
         const std::size_t requested =
             config_.threads ? config_.threads
-                            : thread_pool::default_thread_count();
+                            : task_scheduler::default_thread_count();
         out.threads_used = std::min(requested, grid.size());
     }
+    const bool dag_mode = config_.schedule == scheduler_kind::dag;
+    // DAG cache probes park a loaded outcome here between the probe node
+    // and the scenario's main node (each slot is written by the probe and
+    // consumed by the main, which the graph orders after it).
+    struct probe_staging {
+        bool probed = false;
+        std::string key;
+        std::optional<scenario_result> outcome;
+    };
+    std::vector<probe_staging> staged;
     if (!pending.empty()) {
-        thread_pool pool(std::min(out.threads_used, pending.size()));
-        parallel_for_index(pool, pending.size(), [&](std::size_t pi) {
-            const std::size_t i = pending[pi];
+        const auto scenario_body = [&](std::size_t i) {
             scenario_result& slot = out.results[i];
             slot.sc = grid[i];
             // One span covers the whole scenario, retries and backoff
@@ -575,8 +851,20 @@ campaign_result campaign_runner::run(const run_hooks& hooks) const {
                     // leave a later successful attempt key-less — the
                     // retried result still gets cached below.
                     if (cache && key.empty()) {
-                        key = scenario_cache::key(grid[i], materialised);
-                        if (auto cached = cache->load(key)) {
+                        probe_staging* probed =
+                            !staged.empty() && staged[i].probed ? &staged[i]
+                                                                : nullptr;
+                        if (probed) {
+                            // The DAG probe node already did this lookup
+                            // (it had to, to register stage demand before
+                            // the owner nodes ran) — reuse its outcome.
+                            key = probed->key;
+                        } else {
+                            key = scenario_cache::key(grid[i], materialised);
+                        }
+                        auto cached = probed ? std::move(probed->outcome)
+                                             : cache->load(key);
+                        if (cached) {
                             // Restore the graded outcome; `elapsed_s`
                             // keeps the original grading cost, not the
                             // lookup cost, so `scenario_cpu_s` still
@@ -593,7 +881,11 @@ campaign_result campaign_runner::run(const run_hooks& hooks) const {
                         // outcome is this scenario's verdict.
                         slot.engine_error = false;
                         slot.error.clear();
-                        if (pooling) {
+                        if (pooling && dag_mode) {
+                            slot.report = run_with_dag(
+                                materialised, digests[i], share_depth,
+                                shared, attempt, i);
+                        } else if (pooling) {
                             slot.report = run_with_pool(
                                 materialised, digests[i], share_depth,
                                 shared);
@@ -680,7 +972,96 @@ campaign_result campaign_runner::run(const run_hooks& hooks) const {
             }
             if (hooks.on_scenario)
                 hooks.on_scenario(slot);
-        });
+        };
+
+        task_scheduler sched(std::min(out.threads_used, pending.size()));
+        if (dag_mode && pooling) {
+            // Emit the campaign as a task DAG: pooled stage owners launch
+            // topologically first, scenarios adopt their published
+            // snapshots without blocking, and work stealing overlaps
+            // independent scenarios with pooled-prefix computes.
+            task_graph graph;
+            // Probe nodes (cache only): look the scenario up and, on a
+            // miss (or probe failure), register demand on its pooled
+            // prefix — so owners skip stages no pending consumer needs
+            // and a warm run does no stage work.
+            std::unordered_map<std::uint64_t, std::vector<std::size_t>>
+                level0_probes;
+            if (cache) {
+                staged.resize(grid.size());
+                for (const std::size_t i : pending) {
+                    if (shared.deepest_pooled(digests[i], share_depth) < 0)
+                        continue;
+                    const std::size_t node = graph.add([&, i] {
+                        probe_staging st;
+                        try {
+                            const bist::bist_config materialised =
+                                scenario_config(config_, grid[i]);
+                            st.key =
+                                scenario_cache::key(grid[i], materialised);
+                            st.outcome = cache->load(st.key);
+                            st.probed = true;
+                        } catch (const std::exception&) {
+                            st = {}; // the main node redoes the lookup
+                        }
+                        if (!st.probed || !st.outcome)
+                            shared.demand(digests[i], share_depth, i);
+                        staged[i] = std::move(st);
+                    });
+                    level0_probes[digests[i][0]].push_back(node);
+                }
+            }
+            // Owner nodes: one per pooled slot, level by level.  owner(k)
+            // depends on owner(k-1) of the same prefix, which transitively
+            // covers every consumer probe hung off level 0 — so a slot is
+            // published before anything peeks it, with its demand settled.
+            std::array<std::unordered_map<std::uint64_t, std::size_t>,
+                       shareable_stages.size()>
+                owner_node;
+            for (int k = 0; k < share_depth; ++k) {
+                for (const std::size_t i : pending) {
+                    if (shared.deepest_pooled(digests[i], share_depth) < k)
+                        continue;
+                    const std::uint64_t d = digests[i][k];
+                    if (owner_node[k].count(d) != 0)
+                        continue;
+                    std::vector<std::size_t> deps;
+                    if (k > 0)
+                        deps.push_back(
+                            owner_node[k - 1].at(digests[i][k - 1]));
+                    else if (cache)
+                        deps = level0_probes.at(d);
+                    // `i` is the lowest pending consumer: the owner binds
+                    // to its config (any consumer's is digest-equal).
+                    owner_node[k][d] = graph.add(
+                        [&, i, k] {
+                            run_owner_node(config_, grid[i], digests[i], k,
+                                           shared);
+                        },
+                        deps);
+                }
+            }
+            // Main nodes: a scenario waits only on the owner of its
+            // deepest pooled slot; the owner chain orders the rest.
+            for (const std::size_t i : pending) {
+                const int deepest =
+                    shared.deepest_pooled(digests[i], share_depth);
+                std::vector<std::size_t> deps;
+                if (deepest >= 0)
+                    deps.push_back(
+                        owner_node[static_cast<std::size_t>(deepest)].at(
+                            digests[i][static_cast<std::size_t>(deepest)]));
+                graph.add([&, i] { scenario_body(i); }, deps);
+            }
+            sched.run(std::move(graph));
+        } else {
+            // Queue schedule (or nothing pooled): a flat dependency-free
+            // graph with the blocking-adoption slot path — the legacy
+            // executor shape on the new scheduler.
+            sched.parallel_for(pending.size(), [&](std::size_t pi) {
+                scenario_body(pending[pi]);
+            });
+        }
     }
     out.wall_s =
         std::chrono::duration<double>(clock::now() - wall_start).count();

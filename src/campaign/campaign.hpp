@@ -61,6 +61,24 @@ enum class reseed_policy {
     off,
 };
 
+/// Which executor shape the runner drains the scenario grid with.  Both
+/// produce bit-identical results at any thread count — the DAG schedule
+/// only changes *when* pooled stage results exist relative to their
+/// consumers (owners run first; consumers adopt without blocking).
+enum class scheduler_kind {
+    /// Task-DAG schedule (the default): campaign planning emits one owner
+    /// node per pooled stage digest, launched topologically before its
+    /// co-consumer scenarios, which adopt the completed snapshot instead
+    /// of blocking on a shared future.  Independent scenarios overlap with
+    /// pooled-prefix computes via work stealing (core/task_scheduler.hpp).
+    dag,
+    /// Legacy flat schedule: every scenario is an independent task and the
+    /// first consumer to reach a pooled stage computes it while later
+    /// consumers block on its future.  Escape hatch for one release
+    /// (`campaign_runner --schedule queue`); scheduled for removal.
+    queue,
+};
+
 /// Monte-Carlo perturbations applied per trial on top of the derived seeds
 /// (device-to-device spread a production population would show).  Only
 /// meaningful under `reseed_policy::device`.
@@ -106,6 +124,9 @@ struct campaign_config {
     bool relax_mask_to_floor = true;
 
     std::size_t threads = 0;                ///< worker count; 0 = hardware
+    /// Executor shape (results are identical either way; see
+    /// `scheduler_kind`).  Not part of the cache key or journal identity.
+    scheduler_kind schedule = scheduler_kind::dag;
 
     /// Portion of the grid this process grades (default: all of it).
     shard_spec shard{};

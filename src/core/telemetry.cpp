@@ -171,6 +171,9 @@ const char* to_string(counter c) {
     case counter::scenario_retries: return "scenario.retries";
     case counter::scenario_failures: return "scenario.failures";
     case counter::scenario_gave_up: return "scenario.gave_up";
+    case counter::sched_spawns: return "sched.spawns";
+    case counter::sched_steals: return "sched.steals";
+    case counter::sched_adopt_fastpath: return "sched.adopt_fastpath";
     }
     return "unknown";
 }

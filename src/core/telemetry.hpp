@@ -3,7 +3,7 @@
 ///        per-category aggregates and a Chrome trace-event export.
 ///
 /// The five-stage BIST pipeline, the campaign stage pool, the scenario
-/// cache and the thread pool all do their work behind abstraction
+/// cache and the task scheduler all do their work behind abstraction
 /// boundaries that make wall-time invisible from the outside.  This layer
 /// makes them observable without perturbing them:
 ///
@@ -61,8 +61,8 @@ enum class category : int {
     pool,                  ///< stage-pool waits on another worker's compute
     cache,                 ///< scenario-cache load/store (campaign/cache.cpp)
     shard,                 ///< shard file read/write/merge (shard_io.cpp)
-    worker,                ///< thread-pool task execution (thread_pool.hpp)
-    idle,                  ///< thread-pool workers waiting for work
+    worker,                ///< scheduler task execution (task_scheduler.cpp)
+    idle,                  ///< scheduler workers waiting for work
 };
 inline constexpr std::size_t category_count = 12;
 
@@ -84,8 +84,14 @@ enum class counter : int {
                           ///< failure (campaign retry loop)
     scenario_failures,    ///< scenario attempts that ended in an error
     scenario_gave_up,     ///< scenarios still failing after every retry
+    sched_spawns,         ///< DAG nodes released by a completed dependency
+                          ///< (deterministic: nodes minus roots)
+    sched_steals,         ///< tasks stolen from another worker's deque
+                          ///< (nondeterministic; 0 single-threaded)
+    sched_adopt_fastpath, ///< pooled stage snapshots adopted without
+                          ///< blocking (campaign DAG schedule)
 };
-inline constexpr std::size_t counter_count = 12;
+inline constexpr std::size_t counter_count = 15;
 
 /// Stable export name ("cache.hits", "pool.queue_high_water", ...).
 const char* to_string(counter c);

@@ -9,7 +9,7 @@
 #include "campaign/campaign.hpp"
 #include "campaign/export.hpp"
 #include "core/contracts.hpp"
-#include "core/thread_pool.hpp"
+#include "core/task_scheduler.hpp"
 
 namespace {
 
@@ -109,14 +109,14 @@ TEST(ShardMerge, ThreadCountInvariantAcrossShards) {
     // run at N threads (and vice versa): partitioning composes with the
     // thread-invariance contract.
     auto cfg = grid_campaign(/*trials=*/1);
-    cfg.threads = thread_pool::default_thread_count();
+    cfg.threads = task_scheduler::default_thread_count();
     const auto unsharded = campaign_runner(cfg).run();
 
     cfg.threads = 1;
     const auto merged_serial = merge_results(run_shards(cfg, 3));
     expect_equivalent(merged_serial, unsharded);
 
-    cfg.threads = thread_pool::default_thread_count();
+    cfg.threads = task_scheduler::default_thread_count();
     const auto merged_parallel = merge_results(run_shards(cfg, 3));
     EXPECT_EQ(fingerprint(merged_serial), fingerprint(merged_parallel));
 }

@@ -117,6 +117,126 @@ TEST_F(CampaignTelemetry, StageReuseCountersMatchTheResultExactly) {
               result.stage_reuse_computes);
 }
 
+TEST_F(CampaignTelemetry, StageAccountingIsUnchangedByTheSchedulerSwap) {
+    // The credited-consumer rule makes the dag schedule book exactly the
+    // adopt/compute split the queue schedule does — at any thread count,
+    // in the result fields and in the counters alike.
+    auto cfg = small_campaign();
+    cfg.faults = {bist::fault_kind::none};
+    cfg.trials = 3;
+    cfg.reseed = reseed_policy::probes;
+    cfg.stage_sharing = bist::stage::reconstruction;
+
+    struct leg {
+        scheduler_kind schedule;
+        std::size_t threads;
+    };
+    std::vector<campaign_result> results;
+    tm::enable();
+    for (const leg l : {leg{scheduler_kind::queue, 1},
+                        leg{scheduler_kind::queue, 4},
+                        leg{scheduler_kind::dag, 1},
+                        leg{scheduler_kind::dag, 4}}) {
+        cfg.schedule = l.schedule;
+        cfg.threads = l.threads;
+        const auto before = tm::counters();
+        results.push_back(campaign_runner(cfg).run());
+        const auto after = tm::counters();
+        const auto& r = results.back();
+        EXPECT_EQ(counter_at(after, tm::counter::stage_adopts) -
+                      counter_at(before, tm::counter::stage_adopts),
+                  r.stage_reuse_hits);
+        EXPECT_EQ(counter_at(after, tm::counter::stage_computes) -
+                      counter_at(before, tm::counter::stage_computes),
+                  r.stage_reuse_computes);
+    }
+    const auto& queue1 = results.front();
+    EXPECT_GT(queue1.stage_reuse_hits, 0u);
+    for (const auto& r : results) {
+        EXPECT_EQ(r.stage_reuse_hits, queue1.stage_reuse_hits);
+        EXPECT_EQ(r.stage_reuse_computes, queue1.stage_reuse_computes);
+        EXPECT_EQ(timing_free(r), timing_free(queue1));
+    }
+}
+
+TEST_F(CampaignTelemetry, SchedCountersAreExactUnderConcurrency) {
+    auto cfg = small_campaign();
+    cfg.faults = {bist::fault_kind::none};
+    cfg.trials = 3;
+    cfg.reseed = reseed_policy::probes;
+    cfg.schedule = scheduler_kind::dag;
+    cfg.threads = 4;
+
+    const auto run_deltas = [&cfg] {
+        const auto before = tm::counters();
+        const auto result = campaign_runner(cfg).run();
+        const auto after = tm::counters();
+        std::array<std::uint64_t, tm::counter_count> delta{};
+        for (std::size_t i = 0; i < tm::counter_count; ++i)
+            delta[i] = after[i] - before[i];
+        return std::pair{delta, result};
+    };
+
+    tm::enable();
+    const auto [first, result] = run_deltas();
+    // Spawns are deterministic (nodes minus roots), so an identical run
+    // books the identical count even under concurrency.
+    const auto [second, result2] = run_deltas();
+    EXPECT_GT(counter_at(first, tm::counter::sched_spawns), 0u);
+    EXPECT_EQ(counter_at(first, tm::counter::sched_spawns),
+              counter_at(second, tm::counter::sched_spawns));
+    // Every pooled snapshot is taken without blocking: the fast-path
+    // adoptions are exactly the slot touches the reuse accounting splits
+    // into adopts (non-credited) and computes (credited stands in).
+    EXPECT_EQ(counter_at(first, tm::counter::sched_adopt_fastpath),
+              result.stage_reuse_hits + result.stage_reuse_computes);
+    EXPECT_EQ(counter_at(first, tm::counter::stage_waits), 0u)
+        << "the dag schedule never blocks on a pooled stage";
+    EXPECT_EQ(timing_free(result2), timing_free(result));
+
+    // Single-threaded there is nobody to steal from; the queue schedule
+    // never touches the adopt fast path.
+    cfg.threads = 1;
+    const auto [single, result3] = run_deltas();
+    static_cast<void>(result3);
+    EXPECT_EQ(counter_at(single, tm::counter::sched_steals), 0u);
+    cfg.schedule = scheduler_kind::queue;
+    cfg.threads = 4;
+    const auto [queued, result4] = run_deltas();
+    static_cast<void>(result4);
+    EXPECT_EQ(counter_at(queued, tm::counter::sched_adopt_fastpath), 0u);
+}
+
+TEST_F(CampaignTelemetry, WarmCacheSkipsUndemandedOwnerNodes) {
+    // On a warm cache every consumer is served before the owner nodes
+    // run; the demand gate must leave all stage work (and its counters)
+    // at zero — same as the queue schedule, where nobody acquires.
+    const scratch_dir dir("sched_warm_owners");
+    auto cfg = small_campaign();
+    cfg.faults = {bist::fault_kind::none};
+    cfg.trials = 3;
+    cfg.reseed = reseed_policy::probes;
+    cfg.cache_dir = dir.path.string();
+    cfg.threads = 4;
+
+    const auto cold = campaign_runner(cfg).run();
+    EXPECT_GT(cold.stage_reuse_computes, 0u);
+
+    tm::enable();
+    const auto before = tm::counters();
+    const auto warm = campaign_runner(cfg).run();
+    const auto after = tm::counters();
+    EXPECT_EQ(warm.cache_hits, warm.scenario_count());
+    EXPECT_EQ(warm.stage_reuse_computes, 0u);
+    EXPECT_EQ(warm.stage_reuse_hits, 0u);
+    EXPECT_EQ(counter_at(after, tm::counter::stage_computes) -
+                  counter_at(before, tm::counter::stage_computes),
+              0u);
+    EXPECT_EQ(counter_at(after, tm::counter::sched_adopt_fastpath) -
+                  counter_at(before, tm::counter::sched_adopt_fastpath),
+              0u);
+}
+
 TEST_F(CampaignTelemetry, CacheCountersMatchTheResultExactly) {
     const scratch_dir dir("cache_counters");
     auto cfg = small_campaign();

@@ -1,0 +1,230 @@
+/// \file task_scheduler_test.cpp
+/// \brief Properties of the work-stealing DAG executor: topological launch
+///        on randomized graphs, steal/spawn accounting, exception
+///        propagation from stolen tasks, and 1-thread ≡ N-thread results.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/contracts.hpp"
+#include "core/random.hpp"
+#include "core/task_scheduler.hpp"
+
+namespace {
+
+using sdrbist::task_graph;
+using sdrbist::task_scheduler;
+
+/// Seeded random DAG shape: node i depends on up to `max_deps` distinct
+/// earlier nodes.  Returns the dependency lists.
+std::vector<std::vector<std::size_t>> random_dag(std::uint64_t seed,
+                                                 std::size_t nodes,
+                                                 std::size_t max_deps) {
+    sdrbist::rng gen(seed);
+    std::vector<std::vector<std::size_t>> deps(nodes);
+    for (std::size_t i = 1; i < nodes; ++i) {
+        const std::size_t want = gen.next_u64() % (max_deps + 1);
+        for (std::size_t k = 0; k < want; ++k) {
+            const std::size_t d = gen.next_u64() % i;
+            auto& list = deps[i];
+            if (std::find(list.begin(), list.end(), d) == list.end())
+                list.push_back(d);
+        }
+    }
+    return deps;
+}
+
+TEST(TaskScheduler, DefaultsAndSizes) {
+    EXPECT_GE(task_scheduler::default_thread_count(), 1u);
+    EXPECT_EQ(task_scheduler(4).size(), 4u);
+    EXPECT_EQ(task_scheduler().size(),
+              task_scheduler::default_thread_count());
+}
+
+TEST(TaskScheduler, EmptyGraphIsANoOp) {
+    const auto stats = task_scheduler(4).run(task_graph{});
+    EXPECT_EQ(stats.executed, 0u);
+    EXPECT_EQ(stats.spawned, 0u);
+    EXPECT_EQ(stats.stolen, 0u);
+}
+
+TEST(TaskScheduler, DependenciesMustAlreadyExist) {
+    task_graph graph;
+    EXPECT_THROW(graph.add([] {}, {0}), sdrbist::contract_violation);
+    const std::size_t a = graph.add([] {});
+    EXPECT_THROW(graph.add([] {}, {a + 1}), sdrbist::contract_violation);
+    EXPECT_NO_THROW(graph.add([] {}, {a}));
+}
+
+// No node may start before every one of its dependencies has finished —
+// on randomized seeded shapes, at several thread counts.
+TEST(TaskScheduler, TopologicalLaunchOnRandomizedDags) {
+    for (const std::uint64_t seed : {0x5EED1ull, 0x5EED2ull, 0x5EED3ull}) {
+        const auto deps = random_dag(seed, 200, 4);
+        for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+            std::vector<std::atomic<bool>> finished(deps.size());
+            std::atomic<std::size_t> violations{0};
+            task_graph graph;
+            for (std::size_t i = 0; i < deps.size(); ++i)
+                graph.add(
+                    [&, i] {
+                        for (const std::size_t d : deps[i])
+                            if (!finished[d].load(std::memory_order_acquire))
+                                violations.fetch_add(
+                                    1, std::memory_order_relaxed);
+                        finished[i].store(true, std::memory_order_release);
+                    },
+                    deps[i]);
+            const auto stats = task_scheduler(threads).run(std::move(graph));
+            EXPECT_EQ(violations.load(), 0u)
+                << "seed=" << seed << " threads=" << threads;
+            EXPECT_EQ(stats.executed, deps.size());
+            for (const auto& f : finished)
+                EXPECT_TRUE(f.load());
+        }
+    }
+}
+
+TEST(TaskScheduler, SpawnCountIsNodesMinusRootsAndStealsAreSane) {
+    const auto deps = random_dag(0xABCDEFull, 300, 3);
+    std::size_t roots = 0;
+    for (const auto& d : deps)
+        if (d.empty())
+            ++roots;
+    for (const std::size_t threads : {1u, 4u}) {
+        task_graph graph;
+        for (std::size_t i = 0; i < deps.size(); ++i)
+            graph.add([] {}, deps[i]);
+        const auto stats = task_scheduler(threads).run(std::move(graph));
+        // Spawns are deterministic: every non-root is released exactly
+        // once by its last-finishing dependency.
+        EXPECT_EQ(stats.spawned, deps.size() - roots);
+        if (threads == 1)
+            EXPECT_EQ(stats.stolen, 0u); // nobody to steal from
+        else
+            EXPECT_LE(stats.stolen, stats.executed);
+    }
+}
+
+TEST(TaskScheduler, SingleWorkerRunsRootsInSubmissionOrder) {
+    // The retired pool drained FIFO; fault-injection arrival order at one
+    // thread depends on this staying true.
+    std::vector<std::size_t> order;
+    task_graph graph;
+    for (std::size_t i = 0; i < 16; ++i)
+        graph.add([&order, i] { order.push_back(i); });
+    task_scheduler(1).run(std::move(graph));
+    std::vector<std::size_t> expected(16);
+    std::iota(expected.begin(), expected.end(), 0u);
+    EXPECT_EQ(order, expected);
+}
+
+// Every node runs even when others throw; the lowest-id failure is
+// rethrown — including when the throwing task was stolen.
+TEST(TaskScheduler, LowestIdExceptionPropagatesAndNothingIsCancelled) {
+    for (const std::size_t threads : {1u, 4u, 8u}) {
+        std::atomic<std::size_t> ran{0};
+        task_graph graph;
+        const std::size_t first_thrower = 5;
+        std::vector<std::size_t> chain;
+        for (std::size_t i = 0; i < 64; ++i) {
+            // A sparse chain keeps spawned (stealable) work in the mix.
+            std::vector<std::size_t> deps;
+            if (i % 8 == 7)
+                deps = {i - 1};
+            const std::size_t id = graph.add(
+                [&ran, i, first_thrower] {
+                    ran.fetch_add(1, std::memory_order_relaxed);
+                    if (i == first_thrower || i == 40)
+                        throw std::runtime_error("task " + std::to_string(i));
+                },
+                deps);
+            chain.push_back(id);
+        }
+        try {
+            task_scheduler(threads).run(std::move(graph));
+            FAIL() << "expected the lowest-id exception to propagate";
+        } catch (const std::runtime_error& e) {
+            EXPECT_STREQ(e.what(), "task 5");
+        }
+        EXPECT_EQ(ran.load(), 64u) << "failures must not cancel successors";
+    }
+}
+
+// Tasks are pure functions of their inputs writing disjoint slots, so any
+// thread count must produce byte-identical outputs.
+TEST(TaskScheduler, OneThreadEqualsNThreadsResultSweep) {
+    const auto deps = random_dag(0xFEEDull, 128, 4);
+    const auto run_at = [&](std::size_t threads) {
+        std::vector<std::uint64_t> value(deps.size(), 0);
+        task_graph graph;
+        for (std::size_t i = 0; i < deps.size(); ++i)
+            graph.add(
+                [&value, &deps, i] {
+                    std::uint64_t h = 0x9E3779B97F4A7C15ull * (i + 1);
+                    for (const std::size_t d : deps[i])
+                        h ^= value[d] + 0x517CC1B727220A95ull + (h << 6) +
+                             (h >> 2);
+                    value[i] = h;
+                },
+                deps[i]);
+        task_scheduler(threads).run(std::move(graph));
+        return value;
+    };
+    const auto baseline = run_at(1);
+    for (const std::size_t threads : {2u, 4u, 8u})
+        EXPECT_EQ(run_at(threads), baseline) << "threads=" << threads;
+}
+
+TEST(TaskScheduler, ParallelForRunsEveryIndexOnce) {
+    for (const std::size_t threads : {1u, 4u}) {
+        std::vector<int> seen(1000, 0);
+        const auto stats = task_scheduler(threads).parallel_for(
+            seen.size(), [&seen](std::size_t i) { ++seen[i]; });
+        EXPECT_EQ(stats.executed, seen.size());
+        EXPECT_EQ(stats.spawned, 0u); // flat graphs have only roots
+        for (const int s : seen)
+            EXPECT_EQ(s, 1);
+    }
+}
+
+TEST(TaskScheduler, ParallelForRethrowsLowestIndex) {
+    std::atomic<std::size_t> ran{0};
+    try {
+        task_scheduler(4).parallel_for(100, [&ran](std::size_t i) {
+            ran.fetch_add(1, std::memory_order_relaxed);
+            if (i == 17 || i == 3 || i == 90)
+                throw std::runtime_error("iteration " + std::to_string(i));
+        });
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "iteration 3");
+    }
+    EXPECT_EQ(ran.load(), 100u);
+}
+
+// Hammer a wide shallow graph to force real concurrency and stealing —
+// the TSan CI job leans on this test.
+TEST(TaskScheduler, StressManySmallTasksWithSharedCounters) {
+    std::atomic<std::uint64_t> sum{0};
+    task_graph graph;
+    std::vector<std::size_t> layer;
+    for (std::size_t i = 0; i < 32; ++i)
+        layer.push_back(
+            graph.add([&sum, i] { sum.fetch_add(i + 1); }));
+    // A second layer, each node depending on two first-layer nodes.
+    for (std::size_t i = 0; i + 1 < layer.size(); ++i)
+        graph.add([&sum] { sum.fetch_add(1000); },
+                  {layer[i], layer[i + 1]});
+    const auto stats = task_scheduler(8).run(std::move(graph));
+    EXPECT_EQ(stats.executed, 32u + 31u);
+    EXPECT_EQ(sum.load(), (32u * 33u) / 2 + 31u * 1000u);
+}
+
+} // namespace
