@@ -12,7 +12,9 @@
 /// threads.  Machine-readable results are printed as `BENCH_JSON {...}`
 /// lines (see bench_util.hpp).
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
+#include <future>
 #include <iostream>
 #include <string>
 #include <utility>
@@ -21,6 +23,8 @@
 #include "bench_util.hpp"
 #include "campaign/campaign.hpp"
 #include "campaign/export.hpp"
+#include "campaign/service/coordinator.hpp"
+#include "campaign/service/worker.hpp"
 #include "core/fault_injection.hpp"
 #include "core/table.hpp"
 #include "core/telemetry.hpp"
@@ -446,5 +450,60 @@ int main() {
                   << "% > 20%\n";
         return 1;
     }
+
+    // ---- distributed-service overhead ------------------------------------
+    // Coordinator + two loopback workers on the same grid: the service's
+    // framing, leasing and merge must stay bit-identical to the local run
+    // (hard-asserted), and the wall-time cost of shipping every row and
+    // lease result over TCP is reported as a trajectory number.
+    campaign::service::service_config svc;
+    svc.lease_size = 4;
+    svc.heartbeat_s = 2.0;
+    campaign::service::coordinator coord(trace_cfg, svc);
+    svc.port = coord.port();
+    // merge_results sums the per-lease wall times (worker compute), so
+    // end-to-end distributed wall is measured around the whole session.
+    const auto dist_t0 = std::chrono::steady_clock::now();
+    auto served = std::async(std::launch::async, [&] { return coord.serve(); });
+    auto worker_a = std::async(std::launch::async, [&] {
+        return campaign::service::run_worker(trace_cfg, svc);
+    });
+    auto worker_b = std::async(std::launch::async, [&] {
+        return campaign::service::run_worker(trace_cfg, svc);
+    });
+    worker_a.get();
+    worker_b.get();
+    const campaign::service::service_report dist = served.get();
+    const double dist_wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      dist_t0)
+            .count();
+
+    if (campaign::to_json(dist.result, opt) != campaign::to_json(plain, opt)) {
+        std::cerr << "SERVICE VIOLATION: distributed run is not "
+                     "bit-identical to the local run\n";
+        return 1;
+    }
+
+    const double service_overhead_pct =
+        100.0 * (dist_wall_s - plain.wall_s) / plain.wall_s;
+    std::cout << "\ndistributed service (" << dist.result.scenario_count()
+              << " scenarios, 2 workers, lease size " << svc.lease_size
+              << "): local " << text_table::num(plain.wall_s, 3)
+              << " s -> distributed "
+              << text_table::num(dist_wall_s, 3) << " s  ("
+              << text_table::num(service_overhead_pct, 1) << "% overhead, "
+              << dist.leases.leases << " leases, " << dist.leases.requeues
+              << " re-queued)\n";
+
+    benchutil::json_record svc_rec;
+    svc_rec.add("scenarios", dist.result.scenario_count());
+    svc_rec.add("local_wall_s", plain.wall_s);
+    svc_rec.add("distributed_wall_s", dist_wall_s);
+    svc_rec.add("overhead_pct", service_overhead_pct);
+    svc_rec.add("leases", dist.leases.leases);
+    svc_rec.add("requeues", dist.leases.requeues);
+    svc_rec.add("workers", std::size_t{2});
+    benchutil::emit_bench_json("campaign_service_overhead", svc_rec);
     return 0;
 }

@@ -22,6 +22,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "bist/config_canonical.hpp"
@@ -29,6 +30,8 @@
 #include "campaign/campaign.hpp"
 #include "campaign/export.hpp"
 #include "campaign/journal.hpp"
+#include "campaign/service/coordinator.hpp"
+#include "campaign/service/worker.hpp"
 #include "campaign/shard_io.hpp"
 #include "core/fault_injection.hpp"
 #include "core/build_info.hpp"
@@ -128,6 +131,25 @@ void usage() {
         "                    stimulus, tx-capture, calibration,\n"
         "                    reconstruction (default)\n"
         "  --shard i/N       grade only shard i of N (grid index mod N)\n"
+        "  --serve H:P       run as the distributed-campaign coordinator:\n"
+        "                    listen on host:port (port 0 = ephemeral),\n"
+        "                    lease grid slices to --worker processes,\n"
+        "                    re-queue leases whose workers die, merge the\n"
+        "                    completed leases bit-identically and export\n"
+        "                    as usual (workers grade; this process never\n"
+        "                    does).  Use the same grid flags on both ends\n"
+        "                    — the handshake verifies the identity digest\n"
+        "  --worker H:P      run as a worker for the coordinator at\n"
+        "                    host:port: request leases, grade them,\n"
+        "                    stream rows back, heartbeat while computing.\n"
+        "                    Pair with --journal so a restarted worker\n"
+        "                    resumes instead of re-grading (resume is\n"
+        "                    implied, cold start included)\n"
+        "  --lease-size N    scenarios per lease (--serve; default 4)\n"
+        "  --heartbeat-s X   worker beat period (default 5).  Set it on\n"
+        "                    --serve: the coordinator re-queues a lease\n"
+        "                    silent for 3X, and workers adopt its cadence\n"
+        "                    at handshake\n"
         "  --shard-out PATH  write this run's full-fidelity result file\n"
         "                    (the --merge input; no shared cache needed)\n"
         "  --merge F...      merge shard result files instead of running\n"
@@ -172,6 +194,23 @@ void usage() {
         "  --help            this text\n"
         "exit codes: 0 success, 1 artefact write failure, 2 usage error,\n"
         "            3 campaign finished but scenarios failed\n";
+}
+
+/// Parse "host:port" for --serve/--worker; exits with a usage error when
+/// malformed.  Numeric IPv4 hosts only (the service is a loopback/LAN
+/// fleet tool, not an internet endpoint).
+std::pair<std::string, std::uint16_t> parse_endpoint(const std::string& option,
+                                                     const std::string& text) {
+    const auto colon = text.rfind(':');
+    if (colon != std::string::npos && colon > 0) {
+        const std::string host = text.substr(0, colon);
+        const std::uint64_t port =
+            parse_count(option, text.substr(colon + 1));
+        if (port <= 65535)
+            return {host, static_cast<std::uint16_t>(port)};
+    }
+    std::cerr << option << " needs HOST:PORT, got '" << text << "'\n";
+    std::exit(2);
 }
 
 /// Parse "i/N" into a shard_spec; exits with a usage error when malformed.
@@ -458,6 +497,9 @@ int run_cli(int argc, char** argv) {
     std::string json_path, csv_path, scenarios_path, jsonl_path,
         shard_out_path, trace_out_path;
     std::vector<std::string> preset_names, fault_names, merge_paths;
+    campaign::service::service_config svc;
+    bool serve_mode = false;
+    bool worker_mode = false;
     bool merge_mode = false;
     bool salvage_mode = false;
     bool show_counters = false;
@@ -509,6 +551,24 @@ int run_cli(int argc, char** argv) {
             cfg.stage_sharing = parse_stage_sharing(value());
         } else if (arg == "--shard") {
             cfg.shard = parse_shard(value());
+        } else if (arg == "--serve") {
+            serve_mode = true;
+            std::tie(svc.host, svc.port) = parse_endpoint(arg, value());
+        } else if (arg == "--worker") {
+            worker_mode = true;
+            std::tie(svc.host, svc.port) = parse_endpoint(arg, value());
+        } else if (arg == "--lease-size") {
+            svc.lease_size = parse_count(arg, value());
+            if (svc.lease_size == 0) {
+                std::cerr << "--lease-size must be >= 1\n";
+                return 2;
+            }
+        } else if (arg == "--heartbeat-s") {
+            svc.heartbeat_s = parse_double(arg, value());
+            if (!(svc.heartbeat_s > 0.0)) {
+                std::cerr << "--heartbeat-s must be > 0\n";
+                return 2;
+            }
         } else if (arg == "--shard-out") {
             shard_out_path = value();
         } else if (arg == "--merge") {
@@ -564,6 +624,30 @@ int run_cli(int argc, char** argv) {
     // command line.
     if (show_build_info)
         return build_info_cmd();
+
+    // ---- service-mode flag compatibility ----------------------------------
+    if (serve_mode && worker_mode) {
+        std::cerr << "--serve and --worker are mutually exclusive\n";
+        return 2;
+    }
+    if ((serve_mode || worker_mode) && merge_mode) {
+        std::cerr << "--merge cannot combine with --serve/--worker\n";
+        return 2;
+    }
+    if (serve_mode &&
+        (cfg.shard.count > 1 || !cfg.journal_path.empty() || cfg.resume)) {
+        std::cerr << "--serve owns the grid partition; --shard, --journal "
+                     "and --resume apply to workers\n";
+        return 2;
+    }
+    if (worker_mode &&
+        (!json_path.empty() || !csv_path.empty() || !scenarios_path.empty() ||
+         !jsonl_path.empty() || !shard_out_path.empty() ||
+         cfg.shard.count > 1)) {
+        std::cerr << "--worker streams results to its coordinator; export "
+                     "flags and --shard belong on --serve\n";
+        return 2;
+    }
 
     // Telemetry on when anything consumes it.  Counters/aggregates always
     // under enable; trace-event buffering only with --trace-out.
@@ -630,7 +714,28 @@ int run_cli(int argc, char** argv) {
     if (cfg.shard.count > 1)
         std::cout << "  (shard " << cfg.shard.index << "/" << cfg.shard.count
                   << ")";
-    std::cout << "\n\n";
+    if (serve_mode)
+        std::cout << "  (coordinator)";
+    if (worker_mode)
+        std::cout << "  (worker)";
+    std::cout << "\n\n" << std::flush;
+
+    // ---- worker mode: grade leases for a coordinator ----------------------
+    if (worker_mode) {
+        try {
+            const auto wr = campaign::service::run_worker(cfg, svc);
+            std::cout << "worker: " << wr.leases << " leases completed, "
+                      << wr.stale << " stale, " << wr.rows
+                      << " rows streamed, " << wr.heartbeats
+                      << " heartbeats\n";
+            return 0;
+        } catch (const fault_injection::transient_fault& e) {
+            // Lost (or never found) the coordinator: an expected event in
+            // the service failure model, not a usage error.
+            std::cerr << "worker: " << e.what() << "\n";
+            return 1;
+        }
+    }
 
     std::unique_ptr<campaign::jsonl_stream> jsonl;
     campaign::run_hooks hooks;
@@ -640,6 +745,31 @@ int run_cli(int argc, char** argv) {
         hooks.on_scenario = [&](const campaign::scenario_result& r) {
             jsonl->append(r);
         };
+    }
+
+    // ---- serve mode: coordinate a worker fleet ----------------------------
+    if (serve_mode) {
+        campaign::service::coordinator coord(cfg, svc);
+        std::cout << "service: listening on " << svc.host << ":"
+                  << coord.port() << "  (lease size " << svc.lease_size
+                  << ", heartbeat " << svc.heartbeat_s << " s, re-queue after "
+                  << svc.timeout() << " s silent)\n"
+                  << std::flush;
+        const auto report = coord.serve(hooks);
+        if (jsonl) {
+            jsonl->finalise(report.result);
+            std::cout << "wrote " << jsonl_path << " (" << jsonl->rows()
+                      << " rows, streamed)\n";
+        }
+        // Format relied upon by CI (requeue-count assertion greps this).
+        std::cout << "service: " << report.leases.leases
+                  << " leases granted, " << report.leases.requeues
+                  << " re-queued, " << report.leases.heartbeats
+                  << " heartbeats, " << report.workers_seen << " workers, "
+                  << report.dropped_connections << " dropped\n\n";
+        return report_and_export(report.result, export_opt, json_path,
+                                 csv_path, scenarios_path, shard_out_path, {},
+                                 trace_out_path, show_counters);
     }
 
     const campaign::campaign_runner runner(cfg);

@@ -6,6 +6,7 @@
 #include <chrono>
 #include <cmath>
 #include <exception>
+#include <filesystem>
 #include <future>
 #include <limits>
 #include <mutex>
@@ -653,6 +654,7 @@ campaign_runner::campaign_runner(campaign_config config)
     SDRBIST_EXPECTS(config_.trials >= 1);
     SDRBIST_EXPECTS(config_.shard.count >= 1);
     SDRBIST_EXPECTS(config_.shard.index < config_.shard.count);
+    SDRBIST_EXPECTS(!config_.lease || config_.lease->begin <= config_.lease->end);
     SDRBIST_EXPECTS(config_.retry_backoff_ms >= 0.0);
     SDRBIST_EXPECTS(config_.scenario_deadline_s >= 0.0);
     SDRBIST_EXPECTS(!config_.resume || !config_.journal_path.empty());
@@ -670,12 +672,14 @@ campaign_result campaign_runner::run(const run_hooks& hooks) const {
         telemetry_on ? telemetry::snapshot() : telemetry::summary{};
 
     const auto full_grid = expand_grid(config_);
+    SDRBIST_EXPECTS(!config_.lease || config_.lease->end <= full_grid.size());
     std::vector<scenario> grid;
-    if (config_.shard.count <= 1) {
+    if (config_.shard.count <= 1 && !config_.lease) {
         grid = full_grid;
     } else {
         for (const auto& sc : full_grid)
-            if (config_.shard.contains(sc.index))
+            if (config_.shard.contains(sc.index) &&
+                (!config_.lease || config_.lease->contains(sc.index)))
                 grid.push_back(sc);
     }
 
@@ -710,7 +714,12 @@ campaign_result campaign_runner::run(const run_hooks& hooks) const {
     std::size_t resumed_count = 0;
     if (!config_.journal_path.empty()) {
         const std::string identity = campaign_identity(config_);
-        if (config_.resume) {
+        // Cold start: --resume against a journal that does not exist yet
+        // has nothing to restore — fall through and create it fresh (the
+        // service worker loop always passes resume, first run included).
+        std::error_code journal_ec;
+        if (config_.resume &&
+            std::filesystem::exists(config_.journal_path, journal_ec)) {
             journal_replay replay = read_journal(config_.journal_path);
             SDRBIST_EXPECTS(replay.identity == identity);
             std::unordered_map<std::size_t, std::size_t> local;

@@ -43,6 +43,22 @@ struct shard_spec {
     }
 };
 
+/// Contiguous half-open slice [begin, end) of the expanded grid, applied
+/// on top of `shard_spec` filtering.  The distributed campaign service
+/// leases these ranges to workers; `merge_results()` accepts any
+/// exact-coverage partition, so contiguous slices recombine exactly like
+/// mod-K shards.  Excluded from the journal identity (like the other
+/// execution knobs): one worker journal spans every lease it executes.
+struct lease_range {
+    std::size_t begin = 0;
+    std::size_t end = 0; ///< exclusive
+
+    [[nodiscard]] bool contains(std::size_t scenario_index) const {
+        return scenario_index >= begin && scenario_index < end;
+    }
+    [[nodiscard]] std::size_t size() const { return end - begin; }
+};
+
 /// How Monte-Carlo trials derive their randomness from the per-scenario
 /// seed (see `scenario_config`).
 enum class reseed_policy {
@@ -130,6 +146,10 @@ struct campaign_config {
 
     /// Portion of the grid this process grades (default: all of it).
     shard_spec shard{};
+    /// Optional contiguous grid slice graded by this run, composed with
+    /// `shard` (a scenario runs when both filters accept it).  This is the
+    /// campaign service's lease unit; nullopt = no slicing.
+    std::optional<lease_range> lease;
     /// On-disk scenario result cache directory; empty = caching disabled.
     /// Keys are content hashes of the materialised per-scenario engine
     /// config (see campaign/cache.hpp), so overlapping grids and repeated

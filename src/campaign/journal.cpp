@@ -103,12 +103,18 @@ campaign_journal::campaign_journal(const std::string& path,
                                    bool resume) {
     std::uint64_t keep = 0;
     bool need_header = true;
-    if (resume) {
+    std::error_code exists_ec;
+    if (resume && std::filesystem::exists(path, exists_ec)) {
         const journal_replay replay = read_journal(path);
         SDRBIST_EXPECTS(replay.identity == identity);
         keep = replay.valid_bytes;
         need_header = false;
     }
+    // A resume against a journal that does not exist yet is a cold start,
+    // not an error: fall through and create a fresh header.  The service
+    // worker loop relies on this — it always passes --resume so a
+    // restarted worker picks up where its journal left off, first run
+    // included.
     {
         // Create if absent, then trim to the clean prefix (drops any torn
         // tail from a crash) before opening for append.

@@ -52,6 +52,10 @@ scenario_result scenario_row_from_json(const json_value& v);
 /// File convenience wrappers.  `read_result_file` throws
 /// contract_violation when the file is missing or malformed;
 /// `write_result_file` returns false when the file cannot be written.
+/// Writes publish atomically (unique temp file + rename), so a reader —
+/// or a post-crash `--merge` — only ever sees the target absent or
+/// complete, never torn, and a failed write leaves any previous file
+/// untouched.
 campaign_result read_result_file(const std::string& path);
 [[nodiscard]] bool write_result_file(const std::string& path,
                                      const campaign_result& result);

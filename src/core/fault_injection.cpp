@@ -26,6 +26,8 @@ const char* to_string(site s) {
     case site::shard_merge: return "shard.merge";
     case site::pool_dispatch: return "pool.dispatch";
     case site::journal_append: return "journal.append";
+    case site::service_send: return "service.send";
+    case site::service_recv: return "service.recv";
     }
     return "unknown";
 }

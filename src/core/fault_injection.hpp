@@ -14,6 +14,7 @@
 ///  * shard file read/write/merge (`shard.*`, campaign/shard_io.cpp)
 ///  * campaign scenario task dispatch (`pool.dispatch`, campaign.cpp)
 ///  * recovery-journal append (`journal.append`, campaign/journal.cpp)
+///  * campaign-service protocol frames (`service.*`, campaign/service/)
 ///
 /// Arming is explicit — programmatic `arm(spec)` or the
 /// `SDRBIST_FAULT_SPEC` environment variable (read once at load) — and
@@ -72,8 +73,10 @@ enum class site : int {
     pool_dispatch,        ///< campaign scenario task entry — the pool
                           ///< hand-off boundary, inside retry containment
     journal_append,       ///< recovery-journal line append (journal.cpp)
+    service_send,         ///< campaign-service frame send (service/protocol.cpp)
+    service_recv,         ///< campaign-service frame receive
 };
-inline constexpr std::size_t site_count = 12;
+inline constexpr std::size_t site_count = 14;
 
 /// Stable spec/export name ("stage.stimulus", "pool.dispatch", ...).
 const char* to_string(site s);

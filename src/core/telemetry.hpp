@@ -90,8 +90,14 @@ enum class counter : int {
                           ///< (nondeterministic; 0 single-threaded)
     sched_adopt_fastpath, ///< pooled stage snapshots adopted without
                           ///< blocking (campaign DAG schedule)
+    service_leases,       ///< campaign-service lease grants (incl. re-grants
+                          ///< of re-queued leases)
+    service_requeues,     ///< leases re-queued after a lapsed heartbeat or a
+                          ///< dead worker connection
+    service_heartbeats,   ///< heartbeats accepted on a live lease (rows
+                          ///< streamed mid-lease count as beats too)
 };
-inline constexpr std::size_t counter_count = 15;
+inline constexpr std::size_t counter_count = 18;
 
 /// Stable export name ("cache.hits", "pool.queue_high_water", ...).
 const char* to_string(counter c);
