@@ -1,16 +1,15 @@
 /// \file perf_campaign_throughput.cpp
 /// \brief Campaign throughput scaling: scenarios/second at 1, 4 and
-///        hardware-concurrency worker threads, swept over both schedulers
-///        (`--schedule=queue|dag`) on a 32-scenario pooled grid, plus
-///        warm-vs-cold result-cache throughput on a repeated grid.
+///        hardware-concurrency worker threads on a 32-scenario pooled
+///        grid, plus warm-vs-cold result-cache and stage-artefact-store
+///        throughput on repeated grids.
 ///
 /// Every configuration runs the identical grid (same master seed), so this
 /// also smoke-checks the determinism contract while measuring scaling: all
-/// schedule x thread-count combinations must export byte-identical
-/// timing-free artefacts and identical stage-reuse accounting.  On hosts
-/// with >= 4 hardware threads the dag schedule must reach >= 3x at 4
-/// threads.  Machine-readable results are printed as `BENCH_JSON {...}`
-/// lines (see bench_util.hpp).
+/// thread counts must export byte-identical timing-free artefacts and
+/// identical stage-reuse accounting.  On hosts with >= 4 hardware threads
+/// the dag schedule must reach >= 3x at 4 threads.  Machine-readable
+/// results are printed as `BENCH_JSON {...}` lines (see bench_util.hpp).
 #include <algorithm>
 #include <chrono>
 #include <filesystem>
@@ -91,113 +90,92 @@ int main() {
               << " scenarios per run, hardware concurrency = " << hw
               << "\n\n";
 
-    struct sched_leg {
-        campaign::scheduler_kind kind;
-        const char* label;
-    };
-    const sched_leg legs[] = {
-        {campaign::scheduler_kind::queue, "queue"},
-        {campaign::scheduler_kind::dag, "dag"},
-    };
-
-    text_table table({"schedule", "threads", "wall [s]", "scenarios/s",
-                      "speedup", "efficiency [%]", "coverage"});
+    text_table table({"threads", "wall [s]", "scenarios/s", "speedup",
+                      "efficiency [%]", "coverage"});
     std::string baseline_json;
     double dag_speedup_at_4t = 0.0;
-    // Reuse accounting per thread count, recorded on the queue leg: the
-    // dag schedule's credited-consumer rule must reproduce it exactly.
-    std::vector<std::pair<std::size_t, std::size_t>> queue_reuse;
-    for (const auto& leg : legs) {
-        double leg_baseline_rate = 0.0;
-        for (std::size_t ti = 0; ti < thread_counts.size(); ++ti) {
-            const std::size_t threads = thread_counts[ti];
-            cfg.threads = threads;
-            cfg.schedule = leg.kind;
-            const auto before = telemetry::counters();
-            const auto result = campaign::campaign_runner(cfg).run();
-            const auto after = telemetry::counters();
-            const auto delta = [&](telemetry::counter c) {
-                return after[static_cast<std::size_t>(c)] -
-                       before[static_cast<std::size_t>(c)];
-            };
+    double baseline_rate = 0.0;
+    std::pair<std::size_t, std::size_t> baseline_reuse;
+    for (std::size_t ti = 0; ti < thread_counts.size(); ++ti) {
+        const std::size_t threads = thread_counts[ti];
+        cfg.threads = threads;
+        const auto before = telemetry::counters();
+        const auto result = campaign::campaign_runner(cfg).run();
+        const auto after = telemetry::counters();
+        const auto delta = [&](telemetry::counter c) {
+            return after[static_cast<std::size_t>(c)] -
+                   before[static_cast<std::size_t>(c)];
+        };
 
-            // Determinism cross-check: every schedule x thread-count
-            // combination must produce the byte-identical timing-free
-            // export.
-            campaign::export_options opt;
-            opt.include_timing = false;
-            const auto artefact = campaign::to_json(result, opt);
-            if (baseline_json.empty())
-                baseline_json = artefact;
-            else if (artefact != baseline_json) {
-                std::cerr << "DETERMINISM VIOLATION: results differ at "
-                          << threads << " threads (schedule=" << leg.label
-                          << ")\n";
-                return 1;
-            }
-
-            // Counter≡result exactness across the executor swap: both
-            // schedules must book the same stage-pool accounting.
-            const auto reuse = std::make_pair(result.stage_reuse_hits,
-                                              result.stage_reuse_computes);
-            if (leg.kind == campaign::scheduler_kind::queue)
-                queue_reuse.push_back(reuse);
-            else if (reuse != queue_reuse[ti]) {
-                std::cerr << "SCHEDULER VIOLATION: dag reuse accounting "
-                          << reuse.first << "/" << reuse.second
-                          << " differs from queue " << queue_reuse[ti].first
-                          << "/" << queue_reuse[ti].second << " at "
-                          << threads << " threads\n";
-                return 1;
-            }
-
-            const double rate = result.scenarios_per_second();
-            if (ti == 0)
-                leg_baseline_rate = rate;
-            const double speedup = rate / leg_baseline_rate;
-            if (leg.kind == campaign::scheduler_kind::dag && threads == 4)
-                dag_speedup_at_4t = speedup;
-            table.add_row(
-                {leg.label, std::to_string(threads),
-                 text_table::num(result.wall_s, 2), text_table::num(rate, 3),
-                 text_table::num(speedup, 2),
-                 text_table::num(
-                     100.0 * speedup / static_cast<double>(threads), 0),
-                 text_table::num(100.0 * result.coverage(), 0) + "%"});
-
-            benchutil::json_record rec;
-            rec.add("schedule", std::string(leg.label));
-            rec.add("threads", threads);
-            rec.add("scenarios", result.scenario_count());
-            rec.add("wall_s", result.wall_s);
-            rec.add("scenarios_per_sec", rate);
-            rec.add("speedup_vs_1t", speedup);
-            rec.add("coverage", result.coverage());
-            rec.add("yield", result.yield());
-            rec.add("stage_hits", result.stage_reuse_hits);
-            rec.add("stage_computes", result.stage_reuse_computes);
-            rec.add("sched_spawns",
-                    delta(telemetry::counter::sched_spawns));
-            rec.add("sched_steals",
-                    delta(telemetry::counter::sched_steals));
-            rec.add("sched_adopt_fastpath",
-                    delta(telemetry::counter::sched_adopt_fastpath));
-            rec.add("stage_waits", delta(telemetry::counter::stage_waits));
-            // Where the time went: per-stage mean span cost for this run.
-            using telemetry::category;
-            const auto& ts = result.telemetry_summary;
-            rec.add("stimulus_mean_ns",
-                    ts.of(category::stage_stimulus).mean_ns());
-            rec.add("tx_capture_mean_ns",
-                    ts.of(category::stage_tx_capture).mean_ns());
-            rec.add("calibration_mean_ns",
-                    ts.of(category::stage_calibration).mean_ns());
-            rec.add("reconstruction_mean_ns",
-                    ts.of(category::stage_reconstruction).mean_ns());
-            rec.add("grading_mean_ns",
-                    ts.of(category::stage_grading).mean_ns());
-            benchutil::emit_bench_json("campaign_throughput", rec);
+        // Determinism cross-check: every thread count must produce the
+        // byte-identical timing-free export.
+        campaign::export_options opt;
+        opt.include_timing = false;
+        const auto artefact = campaign::to_json(result, opt);
+        if (baseline_json.empty())
+            baseline_json = artefact;
+        else if (artefact != baseline_json) {
+            std::cerr << "DETERMINISM VIOLATION: results differ at "
+                      << threads << " threads\n";
+            return 1;
         }
+
+        // Counter≡result exactness: the credited-consumer rule books the
+        // same stage-pool accounting at every thread count.
+        const auto reuse = std::make_pair(result.stage_reuse_hits,
+                                          result.stage_reuse_computes);
+        if (ti == 0)
+            baseline_reuse = reuse;
+        else if (reuse != baseline_reuse) {
+            std::cerr << "SCHEDULER VIOLATION: reuse accounting "
+                      << reuse.first << "/" << reuse.second
+                      << " differs from single-threaded "
+                      << baseline_reuse.first << "/" << baseline_reuse.second
+                      << " at " << threads << " threads\n";
+            return 1;
+        }
+
+        const double rate = result.scenarios_per_second();
+        if (ti == 0)
+            baseline_rate = rate;
+        const double speedup = rate / baseline_rate;
+        if (threads == 4)
+            dag_speedup_at_4t = speedup;
+        table.add_row(
+            {std::to_string(threads), text_table::num(result.wall_s, 2),
+             text_table::num(rate, 3), text_table::num(speedup, 2),
+             text_table::num(
+                 100.0 * speedup / static_cast<double>(threads), 0),
+             text_table::num(100.0 * result.coverage(), 0) + "%"});
+
+        benchutil::json_record rec;
+        rec.add("threads", threads);
+        rec.add("scenarios", result.scenario_count());
+        rec.add("wall_s", result.wall_s);
+        rec.add("scenarios_per_sec", rate);
+        rec.add("speedup_vs_1t", speedup);
+        rec.add("coverage", result.coverage());
+        rec.add("yield", result.yield());
+        rec.add("stage_hits", result.stage_reuse_hits);
+        rec.add("stage_computes", result.stage_reuse_computes);
+        rec.add("sched_spawns", delta(telemetry::counter::sched_spawns));
+        rec.add("sched_steals", delta(telemetry::counter::sched_steals));
+        rec.add("sched_adopt_fastpath",
+                delta(telemetry::counter::sched_adopt_fastpath));
+        rec.add("stage_waits", delta(telemetry::counter::stage_waits));
+        // Where the time went: per-stage mean span cost for this run.
+        using telemetry::category;
+        const auto& ts = result.telemetry_summary;
+        rec.add("stimulus_mean_ns",
+                ts.of(category::stage_stimulus).mean_ns());
+        rec.add("tx_capture_mean_ns",
+                ts.of(category::stage_tx_capture).mean_ns());
+        rec.add("calibration_mean_ns",
+                ts.of(category::stage_calibration).mean_ns());
+        rec.add("reconstruction_mean_ns",
+                ts.of(category::stage_reconstruction).mean_ns());
+        rec.add("grading_mean_ns", ts.of(category::stage_grading).mean_ns());
+        benchutil::emit_bench_json("campaign_throughput", rec);
     }
     std::cout << "\n";
     table.print(std::cout);
@@ -217,10 +195,6 @@ int main() {
         std::cout << "note: host has < 4 hardware threads; the 3x-at-4-"
                      "threads gate is skipped\n";
     }
-
-    // The cache / reuse / trace / fault sections below all run on the dag
-    // schedule (the default).
-    cfg.schedule = campaign::scheduler_kind::dag;
 
     // ---- warm-vs-cold result cache on a repeated grid --------------------
     // A regrade (CI rerun, regression sweep) of an already-graded grid
@@ -343,6 +317,62 @@ int main() {
     if (reuse_speedup < 1.3) {
         std::cerr << "STAGE-REUSE VIOLATION: speedup "
                   << text_table::num(reuse_speedup, 2) << "x < 1.3x\n";
+        return 1;
+    }
+
+    // ---- persistent stage-artefact store: warm over cold -----------------
+    // Same guard-banding grid, now with `--stage-store`: the cold run
+    // computes every stage once and publishes the compressed snapshots;
+    // the warm run adopts them all back (round-tripped through the byte
+    // codec and the JSON stage codec), so no pipeline stage runs at all.
+    // Both must be bit-identical to the store-disabled run — the store
+    // only ever substitutes element-exact artefacts for computes.
+    const std::filesystem::path store_dir = "bench_campaign_store.tmp";
+    std::filesystem::remove_all(store_dir);
+    campaign::campaign_config store_cfg = reuse_cfg;
+    store_cfg.stage_store_dir = store_dir.string();
+
+    const auto store_cold = campaign::campaign_runner(store_cfg).run();
+    const auto store_warm = campaign::campaign_runner(store_cfg).run();
+    std::filesystem::remove_all(store_dir);
+
+    if (campaign::to_json(store_cold, opt) != campaign::to_json(shared, opt) ||
+        campaign::to_json(store_warm, opt) != campaign::to_json(shared, opt)) {
+        std::cerr << "STAGE-STORE VIOLATION: store-enabled run is not "
+                     "bit-identical to the store-disabled run\n";
+        return 1;
+    }
+    if (store_warm.store_hits == 0 || store_warm.store_misses != 0) {
+        std::cerr << "STAGE-STORE VIOLATION: warm run expected all hits, "
+                     "got " << store_warm.store_hits << " hits / "
+                  << store_warm.store_misses << " misses\n";
+        return 1;
+    }
+
+    const double store_speedup = store_cold.wall_s / store_warm.wall_s;
+    std::cout << "\nstage store (" << store_warm.scenario_count()
+              << " scenarios): cold "
+              << text_table::num(store_cold.wall_s, 3) << " s -> warm "
+              << text_table::num(store_warm.wall_s, 3) << " s  ("
+              << text_table::num(store_speedup, 2) << "x, "
+              << store_warm.store_hits << " hits, "
+              << store_warm.store_bytes << " bytes served)\n";
+
+    benchutil::json_record store_rec;
+    store_rec.add("scenarios", store_warm.scenario_count());
+    store_rec.add("cold_wall_s", store_cold.wall_s);
+    store_rec.add("warm_wall_s", store_warm.wall_s);
+    store_rec.add("warm_speedup", store_speedup);
+    store_rec.add("store_hits", store_warm.store_hits);
+    store_rec.add("store_bytes",
+                  static_cast<std::size_t>(store_warm.store_bytes));
+    benchutil::emit_bench_json("campaign_stage_store", store_rec);
+
+    // Decompress-and-decode is far cheaper than the pipeline stages it
+    // replaces; below 2x the store has stopped engaging.
+    if (store_speedup < 2.0) {
+        std::cerr << "STAGE-STORE VIOLATION: warm speedup "
+                  << text_table::num(store_speedup, 2) << "x < 2x\n";
         return 1;
     }
 

@@ -15,6 +15,8 @@
 ///   campaign_runner --merge s0.json s1.json s2.json --json merged.json
 ///   campaign_runner cache-stats .campaign-cache
 ///   campaign_runner cache-gc .campaign-cache
+///   campaign_runner cache-stats --store .stage-store
+///   campaign_runner cache-gc --store .stage-store --max-bytes 16000000
 #include <algorithm>
 #include <fstream>
 #include <iostream>
@@ -26,6 +28,7 @@
 #include <vector>
 
 #include "bist/config_canonical.hpp"
+#include "campaign/artefact_store/artefact_store.hpp"
 #include "campaign/cache.hpp"
 #include "campaign/campaign.hpp"
 #include "campaign/export.hpp"
@@ -104,8 +107,8 @@ void usage() {
         "usage: campaign_runner [options]\n"
         "       campaign_runner --merge shard0.json shard1.json ... [export "
         "options]\n"
-        "       campaign_runner cache-stats <dir>\n"
-        "       campaign_runner cache-gc <dir>\n"
+        "       campaign_runner cache-stats [--store] <dir>\n"
+        "       campaign_runner cache-gc [--store] <dir> [budgets]\n"
         "  --presets a,b,c   presets to grade (default: whole catalogue)\n"
         "  --faults a,b      faults to inject (default: whole catalogue)\n"
         "  --trials N        Monte-Carlo trials per cell (default 1)\n"
@@ -115,11 +118,6 @@ void usage() {
         "                    pipeline stages then shared across trials),\n"
         "                    off (legacy: every scenario keeps base seeds)\n"
         "  --threads N       worker threads (default: hardware)\n"
-        "  --schedule S      scenario scheduler: dag (task graph with\n"
-        "                    work stealing; pooled stage owners run as\n"
-        "                    graph nodes, default) or queue (flat scenario\n"
-        "                    list, consumers block on pooled stages;\n"
-        "                    escape hatch scheduled for removal)\n"
         "  --seed S          campaign master seed\n"
         "  --jitter-sigma X  log-normal per-trial jitter spread\n"
         "  --dcde-sigma-ps X gaussian per-trial DCDE static-error spread\n"
@@ -157,6 +155,14 @@ void usage() {
         "                    files and drop bad rows instead of failing\n"
         "  --cache-dir PATH  scenario result cache: rerunning an\n"
         "                    overlapping grid skips graded scenarios\n"
+        "  --stage-store PATH\n"
+        "                    persistent stage-artefact store: stage outputs\n"
+        "                    are published by input digest and adopted on\n"
+        "                    later runs, skipping the stage computes while\n"
+        "                    keeping every export byte-identical.  Manage\n"
+        "                    with cache-stats/cache-gc --store <dir>;\n"
+        "                    cache-gc budgets: --max-bytes N, --max-age-s N,\n"
+        "                    --max-entries N (LRU eviction, oldest first)\n"
         "  --max-retries N   re-run a scenario up to N times after a\n"
         "                    transient failure (default 2; contract\n"
         "                    violations are never retried)\n"
@@ -227,15 +233,6 @@ campaign::shard_spec parse_shard(const std::string& text) {
     std::exit(2);
 }
 
-campaign::scheduler_kind parse_schedule(const std::string& text) {
-    if (text == "dag")
-        return campaign::scheduler_kind::dag;
-    if (text == "queue")
-        return campaign::scheduler_kind::queue;
-    std::cerr << "--schedule needs dag|queue, got '" << text << "'\n";
-    std::exit(2);
-}
-
 campaign::reseed_policy parse_reseed(const std::string& text) {
     if (text == "device")
         return campaign::reseed_policy::device;
@@ -298,6 +295,8 @@ std::vector<std::pair<std::string, std::string>> provenance_fields() {
                         std::to_string(bist::stage_canonical_version));
     fields.emplace_back("cache_format_version",
                         std::to_string(campaign::cache_format_version));
+    fields.emplace_back("store_format_version",
+                        std::to_string(campaign::store_format_version));
     fields.emplace_back("shard_file_version",
                         std::to_string(campaign::shard_file_version));
     return fields;
@@ -367,6 +366,31 @@ int cache_gc_cmd(const std::string& dir) {
     return 0;
 }
 
+int store_stats_cmd(const std::string& dir) {
+    const auto stats = campaign::scan_store_dir(dir);
+    std::cout << "store " << dir << ": " << stats.files() << " files, "
+              << stats.bytes << " bytes\n"
+              << "  entries (current version): " << stats.entries << "\n"
+              << "  version-skewed:            " << stats.stale << "\n"
+              << "  corrupt:                   " << stats.corrupt << "\n"
+              << "  stray temp files:          " << stats.stray_tmp << "\n";
+    if (!stats.version_histogram.empty()) {
+        std::cout << "  version histogram:\n";
+        for (const auto& [version, count] : stats.version_histogram)
+            std::cout << "    v" << version << ": " << count << "\n";
+    }
+    return 0;
+}
+
+int store_gc_cmd(const std::string& dir, campaign::store_gc_policy policy) {
+    const auto gc = campaign::gc_store_dir(dir, policy);
+    std::cout << "store-gc " << dir << ": scanned " << gc.scanned
+              << ", removed " << gc.removed << ", evicted " << gc.evicted
+              << " (" << gc.bytes_freed << " bytes freed), kept " << gc.kept
+              << "\n";
+    return 0;
+}
+
 int run_cli(int argc, char** argv);
 
 } // namespace
@@ -417,6 +441,9 @@ int report_and_export(const campaign::campaign_result& result,
               << "stage reuse:               " << result.stage_reuse_hits
               << " adopted, " << result.stage_reuse_computes
               << " computed\n"
+              << "store:                     " << result.store_hits
+              << " hits, " << result.store_misses << " misses, "
+              << result.store_bytes << " bytes\n"
               << "recovery:                  " << result.scenario_retries
               << " retried, " << result.scenario_gave_up << " gave up, "
               << result.resumed << " resumed, " << result.quarantined
@@ -478,16 +505,50 @@ int report_and_export(const campaign::campaign_result& result,
 }
 
 int run_cli(int argc, char** argv) {
-    // Cache maintenance subcommands.
+    // Cache / stage-store maintenance subcommands.
     if (argc >= 2 && (std::string(argv[1]) == "cache-stats" ||
                       std::string(argv[1]) == "cache-gc")) {
         const std::string sub = argv[1];
-        if (argc != 3) {
-            std::cerr << sub << " needs exactly one cache directory\n";
+        const bool gc = sub == "cache-gc";
+        bool store_mode = false;
+        campaign::store_gc_policy policy;
+        std::string dir;
+        for (int i = 2; i < argc; ++i) {
+            const std::string arg = argv[i];
+            auto value = [&]() -> std::string {
+                if (i + 1 >= argc) {
+                    std::cerr << arg << " needs a value\n";
+                    std::exit(2);
+                }
+                return argv[++i];
+            };
+            if (arg == "--store") {
+                store_mode = true;
+            } else if (gc && arg == "--max-bytes") {
+                policy.max_bytes = parse_count(arg, value());
+            } else if (gc && arg == "--max-age-s") {
+                policy.max_age_s = parse_count(arg, value());
+            } else if (gc && arg == "--max-entries") {
+                policy.max_entries = parse_count(arg, value());
+            } else if (dir.empty() && !arg.empty() && arg[0] != '-') {
+                dir = arg;
+            } else {
+                std::cerr << sub << ": unexpected argument '" << arg << "'\n";
+                return 2;
+            }
+        }
+        if (dir.empty()) {
+            std::cerr << sub << " needs a directory\n";
             return 2;
         }
-        return sub == "cache-stats" ? cache_stats_cmd(argv[2])
-                                    : cache_gc_cmd(argv[2]);
+        if (!store_mode &&
+            (policy.max_bytes || policy.max_age_s || policy.max_entries)) {
+            std::cerr << sub << ": eviction budgets need --store\n";
+            return 2;
+        }
+        if (store_mode)
+            return gc ? store_gc_cmd(dir, policy) : store_stats_cmd(dir);
+        return gc ? cache_gc_cmd(dir) : cache_stats_cmd(dir);
     }
 
     campaign::campaign_config cfg;
@@ -535,8 +596,6 @@ int run_cli(int argc, char** argv) {
             cfg.reseed = parse_reseed(value());
         } else if (arg == "--threads") {
             cfg.threads = parse_count(arg, value());
-        } else if (arg == "--schedule") {
-            cfg.schedule = parse_schedule(value());
         } else if (arg == "--seed") {
             cfg.seed = parse_count(arg, value(), 0);
         } else if (arg == "--jitter-sigma") {
@@ -577,6 +636,8 @@ int run_cli(int argc, char** argv) {
             salvage_mode = true;
         } else if (arg == "--cache-dir") {
             cfg.cache_dir = value();
+        } else if (arg == "--stage-store") {
+            cfg.stage_store_dir = value();
         } else if (arg == "--max-retries") {
             cfg.max_retries = parse_count(arg, value());
         } else if (arg == "--retry-backoff-ms") {

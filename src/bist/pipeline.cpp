@@ -468,6 +468,83 @@ void bist_session::adopt_reconstruction(
     reconstruction_ = std::move(out);
 }
 
+void bist_session::adopt_grading(std::shared_ptr<const grading_output> out) {
+    SDRBIST_EXPECTS(out != nullptr);
+    SDRBIST_EXPECTS(reconstruction_ != nullptr);
+    if (out == grading_)
+        return;
+    grading_ = std::move(out);
+}
+
+std::size_t bist_session::adopt_from_store(stage_snapshot_store& store) {
+    std::size_t adopted = 0;
+    for (const stage s : stage_order) {
+        if (halted())
+            break;
+        if (completed(s))
+            continue;
+        const std::uint64_t digest = input_digest(s);
+        switch (s) {
+        case stage::stimulus: {
+            auto out = store.load_stimulus(digest);
+            if (!out)
+                return adopted;
+            adopt_stimulus(std::move(out));
+            break;
+        }
+        case stage::tx_capture: {
+            auto out = store.load_tx_capture(digest);
+            if (!out)
+                return adopted;
+            adopt_tx_capture(std::move(out));
+            break;
+        }
+        case stage::calibration: {
+            auto out = store.load_calibration(digest);
+            if (!out)
+                return adopted;
+            adopt_calibration(std::move(out));
+            break;
+        }
+        case stage::reconstruction: {
+            auto out = store.load_reconstruction(digest);
+            if (!out)
+                return adopted;
+            adopt_reconstruction(std::move(out));
+            break;
+        }
+        case stage::grading: {
+            auto out = store.load_grading(digest);
+            if (!out)
+                return adopted;
+            adopt_grading(std::move(out));
+            break;
+        }
+        }
+        ++adopted;
+    }
+    return adopted;
+}
+
+void bist_session::publish_to_store(stage_snapshot_store& store,
+                                    stage s) const {
+    SDRBIST_EXPECTS(completed(s));
+    const std::uint64_t digest = input_digest(s);
+    switch (s) {
+    case stage::stimulus: store.store_stimulus(digest, *stimulus_); break;
+    case stage::tx_capture:
+        store.store_tx_capture(digest, *tx_capture_);
+        break;
+    case stage::calibration:
+        store.store_calibration(digest, *calibration_);
+        break;
+    case stage::reconstruction:
+        store.store_reconstruction(digest, *reconstruction_);
+        break;
+    case stage::grading: store.store_grading(digest, *grading_); break;
+    }
+}
+
 bist_report bist_session::report() const {
     bist_report report;
     report.preset_name = config_.preset.name;

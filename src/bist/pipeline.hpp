@@ -50,6 +50,53 @@ run_reconstruction(const bist_config& config, const stimulus_output& stim,
                                          const reconstruction_output& recon);
 
 // ---------------------------------------------------------------------------
+// Snapshot store interface
+// ---------------------------------------------------------------------------
+
+/// Abstract persistent store of stage output snapshots, keyed by the
+/// stage *input digest* (config_canonical.hpp).  Equal digests guarantee
+/// bit-identical stage outputs, so a loaded snapshot can stand in for the
+/// compute under the campaign byte-identity contract.
+///
+/// Contracts:
+///  * `load_*` returns null on miss — including version skew and corrupt
+///    entries (implementations quarantine those); a hit is a decoded
+///    snapshot element-exactly equal to what the compute would produce.
+///  * `store_*` is best-effort: failures degrade to "not persisted",
+///    exactly the contract a real I/O failure gets.
+///  * Implementations must be safe to call from concurrent sessions.
+///
+/// Implemented by `campaign::stage_artefact_store` (compressed on-disk
+/// entries); the interface lives here so `bist_session` can adopt from /
+/// publish to a store without the bist layer depending on campaign code.
+class stage_snapshot_store {
+public:
+    virtual ~stage_snapshot_store() = default;
+
+    [[nodiscard]] virtual std::shared_ptr<const stimulus_output>
+    load_stimulus(std::uint64_t digest) = 0;
+    [[nodiscard]] virtual std::shared_ptr<const tx_capture_output>
+    load_tx_capture(std::uint64_t digest) = 0;
+    [[nodiscard]] virtual std::shared_ptr<const calibration_output>
+    load_calibration(std::uint64_t digest) = 0;
+    [[nodiscard]] virtual std::shared_ptr<const reconstruction_output>
+    load_reconstruction(std::uint64_t digest) = 0;
+    [[nodiscard]] virtual std::shared_ptr<const grading_output>
+    load_grading(std::uint64_t digest) = 0;
+
+    virtual void store_stimulus(std::uint64_t digest,
+                                const stimulus_output& out) = 0;
+    virtual void store_tx_capture(std::uint64_t digest,
+                                  const tx_capture_output& out) = 0;
+    virtual void store_calibration(std::uint64_t digest,
+                                   const calibration_output& out) = 0;
+    virtual void store_reconstruction(std::uint64_t digest,
+                                      const reconstruction_output& out) = 0;
+    virtual void store_grading(std::uint64_t digest,
+                               const grading_output& out) = 0;
+};
+
+// ---------------------------------------------------------------------------
 // Session
 // ---------------------------------------------------------------------------
 
@@ -125,6 +172,10 @@ public:
     share_reconstruction() const {
         return reconstruction_;
     }
+    [[nodiscard]] std::shared_ptr<const grading_output>
+    share_grading() const {
+        return grading_;
+    }
 
     /// Adopt a stage output computed elsewhere.  The caller must guarantee
     /// the donor session's `input_digest` for this stage equals this
@@ -135,6 +186,20 @@ public:
     void adopt_tx_capture(std::shared_ptr<const tx_capture_output> out);
     void adopt_calibration(std::shared_ptr<const calibration_output> out);
     void adopt_reconstruction(std::shared_ptr<const reconstruction_output> out);
+    void adopt_grading(std::shared_ptr<const grading_output> out);
+
+    /// Adopt completed stage outputs from a persistent snapshot store:
+    /// walks the stages in dataflow order, skipping ones already complete,
+    /// adopting each store hit and stopping at the first miss (adoption
+    /// requires every upstream stage to be present).  Stops early when an
+    /// adopted tx_capture halts the session — nothing downstream of a halt
+    /// is ever stored or adopted.  Returns the number of stages adopted.
+    std::size_t adopt_from_store(stage_snapshot_store& store);
+
+    /// Persist stage `s`'s completed output to the store, keyed by this
+    /// session's input digest for `s`.  Precondition: completed(s).
+    /// Best-effort (see stage_snapshot_store::store_*).
+    void publish_to_store(stage_snapshot_store& store, stage s) const;
 
     /// Assemble the report from the completed stages (fields of stages that
     /// have not run keep their defaults — the monolithic early-return

@@ -1,0 +1,169 @@
+/// \file artefact_store.hpp
+/// \brief Persistent, content-addressed store of BIST stage outputs.
+///
+/// The scenario cache (campaign/cache.hpp) keys *finished reports*; this
+/// store keys the five intermediate stage outputs of the staged pipeline
+/// by their chained input digests (bist/config_canonical.hpp).  Equal
+/// digests guarantee bit-identical stage outputs, so a store hit skips the
+/// stage compute entirely — across runs and across processes, not just
+/// within one campaign's in-memory stage pool.
+///
+/// Entry layout (`<dir>/<16-hex-digest>-<stage-name>.sab`):
+///
+///   one JSON header line
+///     {"store_version":V,"codec":C,"stage":"...","digest":"...",
+///      "stage_canonical_version":S,"raw_bytes":N,"payload_bytes":M,
+///      "payload_fnv":"..."}\n
+///   followed by exactly M bytes of byte_codec-compressed payload — the
+///   compressed form of the stage_codec JSON serialisation (N raw bytes).
+///
+/// Load semantics mirror the scenario cache: a missing file is a plain
+/// miss; version skew (store_version, codec, stage_canonical_version) is a
+/// plain miss that stays put for `cache-gc`; anything corrupt (garbled
+/// header, size or checksum mismatch, name/content disagreement, payload
+/// that fails to decompress or decode) is quarantined into
+/// `<dir>/quarantine/` and read as a miss.  Publishes are atomic
+/// (unique temp + rename) and best-effort.  Hits touch the entry's mtime
+/// (best-effort) so GC can evict least-recently-used entries first.
+///
+/// Telemetry: counters `store.hits` / `store.misses` / `store.bytes` (raw
+/// bytes served by hits) are bumped at the same sites as the store's own
+/// atomics, so counter totals equal result totals exactly; `cache-gc`
+/// bumps `store.evictions` per budget-evicted entry.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "bist/pipeline.hpp"
+
+namespace sdrbist::campaign {
+
+/// On-disk entry format version (header layout + stage_codec field sets).
+/// Any change to either MUST bump this so stale entries read as misses.
+inline constexpr int store_format_version = 1;
+
+/// Compressed on-disk implementation of bist::stage_snapshot_store.
+/// Thread-safe: concurrent loads/stores from any number of sessions and
+/// processes sharing the directory are safe (atomic publish, last rename
+/// wins with identical content).
+class stage_artefact_store final : public bist::stage_snapshot_store {
+public:
+    /// Opens (creating if needed) the store directory.  Throws
+    /// contract_violation when the directory cannot be created.
+    explicit stage_artefact_store(std::string dir);
+
+    [[nodiscard]] std::shared_ptr<const bist::stimulus_output>
+    load_stimulus(std::uint64_t digest) override;
+    [[nodiscard]] std::shared_ptr<const bist::tx_capture_output>
+    load_tx_capture(std::uint64_t digest) override;
+    [[nodiscard]] std::shared_ptr<const bist::calibration_output>
+    load_calibration(std::uint64_t digest) override;
+    [[nodiscard]] std::shared_ptr<const bist::reconstruction_output>
+    load_reconstruction(std::uint64_t digest) override;
+    [[nodiscard]] std::shared_ptr<const bist::grading_output>
+    load_grading(std::uint64_t digest) override;
+
+    void store_stimulus(std::uint64_t digest,
+                        const bist::stimulus_output& out) override;
+    void store_tx_capture(std::uint64_t digest,
+                          const bist::tx_capture_output& out) override;
+    void store_calibration(std::uint64_t digest,
+                           const bist::calibration_output& out) override;
+    void store_reconstruction(std::uint64_t digest,
+                              const bist::reconstruction_output& out) override;
+    void store_grading(std::uint64_t digest,
+                       const bist::grading_output& out) override;
+
+    /// File path an entry lives at.
+    [[nodiscard]] std::string path_for(std::uint64_t digest,
+                                       bist::stage s) const;
+
+    [[nodiscard]] const std::string& dir() const { return dir_; }
+
+    /// Result counters — exactly equal to the telemetry counters this
+    /// instance emitted (bumped at the same sites).
+    [[nodiscard]] std::uint64_t hits() const {
+        return hits_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t misses() const {
+        return misses_.load(std::memory_order_relaxed);
+    }
+    /// Raw (uncompressed) bytes served by hits.
+    [[nodiscard]] std::uint64_t bytes_served() const {
+        return bytes_.load(std::memory_order_relaxed);
+    }
+    /// Corrupt entries moved to quarantine/ by this instance.
+    [[nodiscard]] std::uint64_t quarantined() const {
+        return quarantined_.load(std::memory_order_relaxed);
+    }
+
+private:
+    /// Read + verify + decompress one entry; empty on miss (counted).
+    [[nodiscard]] std::string load_raw(std::uint64_t digest, bist::stage s);
+    /// Compress + atomically publish one entry (best-effort).
+    void store_raw(std::uint64_t digest, bist::stage s,
+                   const std::string& raw);
+
+    std::string dir_;
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::uint64_t> bytes_{0};
+    std::atomic<std::uint64_t> quarantined_{0};
+};
+
+// ---------------------------------------------------------------------------
+// Store lifecycle tooling (the CLI's `cache-stats` / `cache-gc`).
+// ---------------------------------------------------------------------------
+
+/// One pass over a store directory, classifying every file the store's
+/// naming scheme owns (same taxonomy as cache_dir_stats).
+struct store_dir_stats {
+    std::size_t entries = 0;   ///< readable, current-version entries
+    std::size_t stale = 0;     ///< version-skewed (read as plain misses)
+    std::size_t corrupt = 0;   ///< garbled header / size / name mismatch
+    std::size_t stray_tmp = 0; ///< leftover atomic-publish temp files
+    std::uintmax_t bytes = 0;  ///< total size of everything classified
+    /// store_version value → entry count (corrupt entries excluded).
+    std::map<int, std::size_t> version_histogram;
+
+    [[nodiscard]] std::size_t files() const {
+        return entries + stale + corrupt + stray_tmp;
+    }
+};
+
+/// Classify every store file under `dir` (flat, non-recursive).  Files
+/// outside the store's naming scheme are never counted or touched.
+/// Throws contract_violation when `dir` is not a directory.
+store_dir_stats scan_store_dir(const std::string& dir);
+
+/// Eviction budgets for gc_store_dir.  Zero means "unlimited" for each
+/// knob; removal of stale/corrupt/stray files happens regardless.
+struct store_gc_policy {
+    std::uintmax_t max_bytes = 0;  ///< total healthy-entry byte budget
+    std::uint64_t max_age_s = 0;   ///< evict entries idle longer than this
+    std::size_t max_entries = 0;   ///< healthy-entry count budget
+};
+
+/// Outcome of a garbage collection over a store directory.
+struct store_gc_result {
+    std::size_t scanned = 0;
+    std::size_t removed = 0;  ///< stale/corrupt entries and stray temps
+    std::size_t evicted = 0;  ///< healthy entries evicted by the budgets
+    std::size_t kept = 0;     ///< healthy entries surviving the pass
+    std::uintmax_t bytes_freed = 0;
+};
+
+/// Remove everything a warm run could not use (stale, corrupt, stray
+/// temps), then apply the budgets to the healthy entries: age first, then
+/// evict least-recently-used (oldest mtime, filename as the deterministic
+/// tie-break) until both the byte and the entry-count budget hold.  Each
+/// budget eviction bumps telemetry counter `store.evictions`.  Files
+/// outside the store's naming scheme are never touched.  Throws
+/// contract_violation when `dir` is not a directory.
+store_gc_result gc_store_dir(const std::string& dir,
+                             store_gc_policy policy = {});
+
+} // namespace sdrbist::campaign

@@ -7,7 +7,6 @@
 #include <cmath>
 #include <exception>
 #include <filesystem>
-#include <future>
 #include <limits>
 #include <mutex>
 #include <optional>
@@ -18,6 +17,7 @@
 
 #include "bist/config_canonical.hpp"
 #include "bist/pipeline.hpp"
+#include "campaign/artefact_store/artefact_store.hpp"
 #include "campaign/cache.hpp"
 #include "campaign/journal.hpp"
 #include "core/contracts.hpp"
@@ -88,20 +88,19 @@ void aggregate(campaign_result& out) {
 // Stage pool: planned cross-scenario sharing of pipeline-stage results.
 //
 // The runner computes every scenario's stage input digests up front and
-// keeps one slot per digest that has MORE than one consumer.  Two fill
-// disciplines share the same slots:
+// keeps one slot per digest that has MORE than one consumer.  The task-DAG
+// schedule fills the slots: a dedicated owner node per slot computes the
+// stage before any consumer runs (graph dependency), so consumers `peek`
+// the finished snapshot without ever blocking.  Cache probes register
+// per-slot demand first, letting owners skip stages no pending consumer
+// needs, and the lowest-indexed demander is *credited*: its adoption
+// stands in for the compute in the reuse accounting, so adopted/computed
+// totals stay a pure function of the grid, independent of thread count.
 //
-//  * queue schedule — the first worker to reach a slot computes the stage
-//    (on its own session) and publishes the shared snapshot via a
-//    promise/shared_future; later workers block and adopt (`acquire`).
-//  * dag schedule — a dedicated owner node per slot computes the stage
-//    before any consumer runs (graph dependency), so consumers `peek` the
-//    finished snapshot without ever blocking.  Cache probes register
-//    per-slot demand first, letting owners skip stages no pending
-//    consumer needs, and the lowest-indexed demander is *credited*: its
-//    adoption stands in for the compute in the reuse accounting, which
-//    keeps `stage.adopts`/`stage.computes` identical to the queue
-//    schedule (where the computing consumer is a real consumer).
+// With a stage-artefact store configured, the owner's compute consults
+// the store first — a hit publishes the decoded snapshot and still counts
+// as the slot's one compute, so the reuse accounting is identical with
+// the store cold, warm, or disabled.
 //
 // Every consumer — including ones served from the scenario result cache,
 // which never touch the pool — releases its claim when its scenario
@@ -134,8 +133,8 @@ public:
 
     /// End of plan phase: digests with a single consumer are dropped —
     /// they would cost retention without ever being reused.  With
-    /// `auto_demand` (dag schedule, no cache probes) every slot is marked
-    /// demanded up front and the lowest planned consumer is credited.
+    /// `auto_demand` (no cache probes) every slot is marked demanded up
+    /// front and the lowest planned consumer is credited.
     void finalise_plan(bool auto_demand) {
         for (auto it = expected_.begin(); it != expected_.end();) {
             if (it->second.consumers < 2) {
@@ -158,67 +157,6 @@ public:
         return expected_.find(digest) != expected_.end();
     }
 
-    /// Fetch the shared result, computing it via `compute` exactly once
-    /// across all consumers.  Returns {snapshot, reused}.  Rethrows the
-    /// computing consumer's exception to every waiter (equal digests mean
-    /// the recomputation would throw identically).
-    template <typename Fn>
-    std::pair<std::shared_ptr<const T>, bool> acquire(std::uint64_t digest,
-                                                      Fn&& compute) {
-        std::shared_future<std::shared_ptr<const T>> future;
-        std::promise<std::shared_ptr<const T>>* promise = nullptr;
-        {
-            const std::lock_guard<std::mutex> lock(mutex_);
-            auto it = slots_.find(digest);
-            SDRBIST_EXPECTS(it != slots_.end());
-            slot& s = it->second;
-            if (!s.started) {
-                s.started = true;
-                s.future = s.promise.get_future().share();
-                // The slot cannot be erased while we hold an unreleased
-                // claim on it, and unordered_map references are stable, so
-                // the pointer stays valid across the computation.
-                promise = &s.promise;
-            }
-            future = s.future;
-        }
-        if (promise) {
-            // Compute outside the lock: waiters block on the future, not
-            // the mutex.
-            try {
-                promise->set_value(compute());
-            } catch (...) {
-                promise->set_exception(std::current_exception());
-                // Re-arm the slot so a *retrying* consumer recomputes
-                // instead of inheriting this attempt's failure forever.
-                // Waiters already holding the future still observe the
-                // exception (the shared state outlives the promise), but
-                // the next acquire starts a fresh compute — transient
-                // faults stay per-attempt, while deterministic ones just
-                // recur identically on the retry.
-                const std::lock_guard<std::mutex> lock(mutex_);
-                const auto it = slots_.find(digest);
-                if (it != slots_.end()) {
-                    it->second.promise = {};
-                    it->second.future = {};
-                    it->second.started = false;
-                }
-            }
-        } else if (telemetry::active() &&
-                   future.wait_for(std::chrono::seconds(0)) !=
-                       std::future_status::ready) {
-            // Adoption that has to block on another worker's compute:
-            // the wait is scheduling cost the trace should show.
-            telemetry::count(telemetry::counter::stage_waits);
-            const telemetry::scoped_span wait_span(telemetry::category::pool,
-                                                   "pool.wait");
-            return {future.get(), true};
-        }
-        return {future.get(), promise == nullptr};
-    }
-
-    // --- dag schedule -----------------------------------------------------
-
     /// Probe phase: consumer `index` announces it was not served by the
     /// scenario cache and will adopt this slot.  Runs strictly before the
     /// slot's owner node (graph dependency).  No-op for un-pooled digests.
@@ -234,8 +172,7 @@ public:
     /// Owner node: run `compute` and publish its snapshot (or the
     /// exception it threw) exactly once, before any consumer peeks.
     /// Undemanded slots (every consumer was a cache hit) skip the compute
-    /// so a warm run does no stage work — same as the queue schedule,
-    /// where nobody would have acquired.
+    /// so a warm run does no stage work.
     template <typename Fn>
     publish_status publish(std::uint64_t digest, Fn&& compute) {
         slot* s = nullptr;
@@ -307,11 +244,6 @@ private:
     };
     struct slot {
         std::size_t remaining = 0;
-        // queue schedule
-        bool started = false;
-        std::promise<std::shared_ptr<const T>> promise;
-        std::shared_future<std::shared_ptr<const T>> future;
-        // dag schedule
         bool demanded = false;
         bool done = false;
         std::size_t credited = std::numeric_limits<std::size_t>::max();
@@ -380,55 +312,29 @@ struct stage_pool {
     }
 };
 
-/// Run one scenario's pipeline, adopting every pooled prefix stage.  The
-/// prefix-digest chain makes multiplicities monotone along the pipeline,
-/// so the adoption loop can stop at the first un-pooled stage.  A null
-/// snapshot marks a stage the donor's flow never reached (halted at
-/// tx_capture) — adopting stops there and the session's own halt logic
-/// takes over (it halted identically: same digests, same captures).
-bist::bist_report run_with_pool(const bist::bist_config& materialised,
-                                const stage_digests& digests, int depth,
-                                stage_pool& pool) {
-    bist::bist_session session(materialised);
-    const auto adopt = [&](auto& slot_map, bist::stage s, auto share,
-                           auto adopt_fn) -> bool {
-        const std::uint64_t digest = digests[bist::stage_index(s)];
-        if (!slot_map.pooled(digest))
-            return false;
-        auto [snapshot, reused] = slot_map.acquire(digest, [&] {
-            session.run_until(s);
-            return (session.*share)();
-        });
-        if (!snapshot)
-            return false; // donor halted before this stage; so will we
-        (reused ? pool.hits : pool.computes)
-            .fetch_add(1, std::memory_order_relaxed);
-        // Mirror the pool accounting into the telemetry counters at the
-        // same site, so counter exactness vs stage_reuse_* is structural.
-        telemetry::count(reused ? telemetry::counter::stage_adopts
-                                : telemetry::counter::stage_computes);
-        (session.*adopt_fn)(std::move(snapshot));
-        return true;
-    };
-
-    using S = bist::bist_session;
-    const bool go =
-        depth > 0 &&
-        adopt(pool.stimulus, bist::stage::stimulus, &S::share_stimulus,
-              &S::adopt_stimulus) &&
-        depth > 1 &&
-        adopt(pool.tx_capture, bist::stage::tx_capture, &S::share_tx_capture,
-              &S::adopt_tx_capture) &&
-        depth > 2 &&
-        adopt(pool.calibration, bist::stage::calibration,
-              &S::share_calibration, &S::adopt_calibration) &&
-        depth > 3 &&
-        adopt(pool.reconstruction, bist::stage::reconstruction,
-              &S::share_reconstruction, &S::adopt_reconstruction);
-    static_cast<void>(go);
-
+/// Finish a session against the stage-artefact store: adopt whatever the
+/// store already holds beyond the stages adopted so far, run the rest,
+/// and publish the stages this call actually computed (adopted ones are
+/// someone else's publication — the pool owner's, or a previous run's).
+/// Store adoption changes *where* a snapshot comes from, never what it
+/// is (equal digests, element-exact codec), so the report is untouched.
+/// With no store this is exactly session.run().
+void run_stages_with_store(bist::bist_session& session,
+                           bist::stage_snapshot_store* store) {
+    if (store == nullptr) {
+        session.run();
+        return;
+    }
+    session.adopt_from_store(*store);
+    std::array<bool, bist::stage_order.size()> had{};
+    for (const bist::stage s : bist::stage_order)
+        had[static_cast<std::size_t>(bist::stage_index(s))] =
+            session.completed(s);
     session.run();
-    return session.report();
+    for (const bist::stage s : bist::stage_order)
+        if (!had[static_cast<std::size_t>(bist::stage_index(s))] &&
+            session.completed(s))
+            session.publish_to_store(*store, s);
 }
 
 /// DAG owner node: compute pooled slot (`level`, `digests[level]`) on a
@@ -437,18 +343,28 @@ bist::bist_report run_with_pool(const bist::bist_config& materialised,
 /// published upstream slots (graph dependencies ran first).  Publishes the
 /// snapshot, a null (the flow halts before this stage; every consumer's
 /// halts identically), or the exception (consumers rethrow it as their own
-/// attempt-1 failure, so the retry path stays per-scenario).  A successful
-/// demanded compute books the single `stage.computes` the queue schedule
-/// would have attributed to its first consumer.
+/// attempt-1 failure, so the retry path stays per-scenario).
+///
+/// With a stage-artefact store, the compute consults the store first: a
+/// hit publishes the decoded snapshot without touching the pipeline — and
+/// still reports `computed`, so the stage-reuse accounting is identical
+/// with the store cold, warm, or disabled (a store hit must publish a
+/// real snapshot: consumers read null as "the donor's flow halted").  A
+/// real compute persists its snapshot for the next run.
 void run_owner_node(const campaign_config& cfg, const scenario& owner_sc,
                     const stage_digests& digests, int level,
-                    stage_pool& pool) {
+                    stage_pool& pool, bist::stage_snapshot_store* store) {
     using S = bist::bist_session;
     const auto compute = [&](auto& slot_map, bist::stage target,
-                             auto share_fn) {
+                             auto share_fn, auto load_fn) {
         using result_t = decltype((std::declval<S&>().*share_fn)());
         const publish_status status = slot_map.publish(
             digests[bist::stage_index(target)], [&]() -> result_t {
+                if (store) {
+                    if (auto cached = (store->*load_fn)(
+                            digests[bist::stage_index(target)]))
+                        return cached;
+                }
                 S session(scenario_config(cfg, owner_sc));
                 const auto adopt = [&](auto& upstream, bist::stage s,
                                        auto adopt_fn) -> bool {
@@ -475,6 +391,8 @@ void run_owner_node(const campaign_config& cfg, const scenario& owner_sc,
                 if (!go)
                     return result_t{}; // upstream halted: cascade the null
                 session.run_until(target);
+                if (store && session.completed(target))
+                    session.publish_to_store(*store, target);
                 return (session.*share_fn)();
             });
         if (status == publish_status::computed) {
@@ -482,21 +400,23 @@ void run_owner_node(const campaign_config& cfg, const scenario& owner_sc,
             telemetry::count(telemetry::counter::stage_computes);
         }
     };
+    using store_t = bist::stage_snapshot_store;
     switch (level) {
     case 0:
-        compute(pool.stimulus, bist::stage::stimulus, &S::share_stimulus);
+        compute(pool.stimulus, bist::stage::stimulus, &S::share_stimulus,
+                &store_t::load_stimulus);
         break;
     case 1:
         compute(pool.tx_capture, bist::stage::tx_capture,
-                &S::share_tx_capture);
+                &S::share_tx_capture, &store_t::load_tx_capture);
         break;
     case 2:
         compute(pool.calibration, bist::stage::calibration,
-                &S::share_calibration);
+                &S::share_calibration, &store_t::load_calibration);
         break;
     case 3:
         compute(pool.reconstruction, bist::stage::reconstruction,
-                &S::share_reconstruction);
+                &S::share_reconstruction, &store_t::load_reconstruction);
         break;
     default:
         break;
@@ -506,15 +426,17 @@ void run_owner_node(const campaign_config& cfg, const scenario& owner_sc,
 /// Run one scenario's pipeline under the dag schedule: every pooled
 /// prefix slot was published by its owner node before this runs, so
 /// adoption is a lock-peek, never a wait.  Attempt 1 inherits a failed
-/// owner's exception exactly like a queue-schedule waiter would; retries
-/// stop adopting at the failed level and compute privately instead (the
-/// slot is not re-armed — transient faults stay per-attempt).  The
-/// credited consumer's adoption books no `stage.adopts`: it stands in for
-/// the compute the owner node already booked.
+/// owner's exception; retries stop adopting at the failed level and
+/// compute privately instead (the slot is not re-armed — transient faults
+/// stay per-attempt).  The credited consumer's adoption books no
+/// `stage.adopts`: it stands in for the compute the owner node already
+/// booked.  Stages below the pooled prefix (multiplicity one, never
+/// pooled) go through the stage-artefact store when one is attached.
 bist::bist_report run_with_dag(const bist::bist_config& materialised,
                                const stage_digests& digests, int depth,
                                stage_pool& pool, std::size_t attempt,
-                               std::size_t my_index) {
+                               std::size_t my_index,
+                               bist::stage_snapshot_store* store) {
     bist::bist_session session(materialised);
     const auto adopt = [&](auto& slot_map, bist::stage s,
                            auto adopt_fn) -> bool {
@@ -553,7 +475,7 @@ bist::bist_report run_with_dag(const bist::bist_config& materialised,
               &S::adopt_reconstruction);
     static_cast<void>(go);
 
-    session.run();
+    run_stages_with_store(session, store);
     return session.report();
 }
 
@@ -702,6 +624,16 @@ campaign_result campaign_runner::run(const run_hooks& hooks) const {
     std::atomic<std::size_t> hits{0};
     std::atomic<std::size_t> misses{0};
 
+    // Stage-artefact store: persistent stage outputs keyed by input
+    // digest.  Purely an execution knob — a hit swaps a compute for a
+    // load of the bit-identical snapshot, so every export is byte-equal
+    // with the store cold, warm, or disabled.
+    std::optional<stage_artefact_store> store;
+    if (!config_.stage_store_dir.empty())
+        store.emplace(config_.stage_store_dir);
+    bist::stage_snapshot_store* const store_ptr =
+        store ? &*store : nullptr;
+
     out.results.resize(grid.size());
 
     // Crash-recovery journal.  On resume, rows whose content digest still
@@ -792,8 +724,7 @@ campaign_result campaign_runner::run(const run_hooks& hooks) const {
             }
         }
         // Without cache probes every planned consumer is a real one, so
-        // slots are demanded up front (the queue schedule never reads the
-        // demand fields at all).
+        // slots are demanded up front.
         shared.finalise_plan(!cache);
     }
     const bool pooling = !digests.empty();
@@ -816,7 +747,6 @@ campaign_result campaign_runner::run(const run_hooks& hooks) const {
                             : task_scheduler::default_thread_count();
         out.threads_used = std::min(requested, grid.size());
     }
-    const bool dag_mode = config_.schedule == scheduler_kind::dag;
     // DAG cache probes park a loaded outcome here between the probe node
     // and the scenario's main node (each slot is written by the probe and
     // consumed by the main, which the graph orders after it).
@@ -890,17 +820,14 @@ campaign_result campaign_runner::run(const run_hooks& hooks) const {
                         // outcome is this scenario's verdict.
                         slot.engine_error = false;
                         slot.error.clear();
-                        if (pooling && dag_mode) {
+                        if (pooling) {
                             slot.report = run_with_dag(
                                 materialised, digests[i], share_depth,
-                                shared, attempt, i);
-                        } else if (pooling) {
-                            slot.report = run_with_pool(
-                                materialised, digests[i], share_depth,
-                                shared);
+                                shared, attempt, i, store_ptr);
                         } else {
-                            const bist::bist_engine engine(materialised);
-                            slot.report = engine.run();
+                            bist::bist_session session(materialised);
+                            run_stages_with_store(session, store_ptr);
+                            slot.report = session.report();
                         }
                     }
                 } catch (const contract_violation& e) {
@@ -984,7 +911,7 @@ campaign_result campaign_runner::run(const run_hooks& hooks) const {
         };
 
         task_scheduler sched(std::min(out.threads_used, pending.size()));
-        if (dag_mode && pooling) {
+        if (pooling) {
             // Emit the campaign as a task DAG: pooled stage owners launch
             // topologically first, scenarios adopt their published
             // snapshots without blocking, and work stealing overlaps
@@ -1045,7 +972,7 @@ campaign_result campaign_runner::run(const run_hooks& hooks) const {
                     owner_node[k][d] = graph.add(
                         [&, i, k] {
                             run_owner_node(config_, grid[i], digests[i], k,
-                                           shared);
+                                           shared, store_ptr);
                         },
                         deps);
                 }
@@ -1064,9 +991,8 @@ campaign_result campaign_runner::run(const run_hooks& hooks) const {
             }
             sched.run(std::move(graph));
         } else {
-            // Queue schedule (or nothing pooled): a flat dependency-free
-            // graph with the blocking-adoption slot path — the legacy
-            // executor shape on the new scheduler.
+            // Nothing pooled: a flat dependency-free graph — every
+            // scenario runs its own session end to end.
             sched.parallel_for(pending.size(), [&](std::size_t pi) {
                 scenario_body(pending[pi]);
             });
@@ -1080,6 +1006,12 @@ campaign_result campaign_runner::run(const run_hooks& hooks) const {
     out.quarantined = cache ? cache->quarantined() : 0;
     out.stage_reuse_hits = shared.hits.load();
     out.stage_reuse_computes = shared.computes.load();
+    if (store) {
+        out.store_hits = store->hits();
+        out.store_misses = store->misses();
+        out.store_bytes = store->bytes_served();
+        out.quarantined += store->quarantined();
+    }
     if (telemetry_on)
         out.telemetry_summary = telemetry::since(telemetry_base);
 
@@ -1142,6 +1074,9 @@ campaign_result merge_impl(const std::vector<campaign_result>& shards,
         out.cache_misses += shard.cache_misses;
         out.stage_reuse_hits += shard.stage_reuse_hits;
         out.stage_reuse_computes += shard.stage_reuse_computes;
+        out.store_hits += shard.store_hits;
+        out.store_misses += shard.store_misses;
+        out.store_bytes += shard.store_bytes;
         out.resumed += shard.resumed;
         out.quarantined += shard.quarantined;
         out.telemetry_summary.merge_from(shard.telemetry_summary);

@@ -77,24 +77,6 @@ enum class reseed_policy {
     off,
 };
 
-/// Which executor shape the runner drains the scenario grid with.  Both
-/// produce bit-identical results at any thread count — the DAG schedule
-/// only changes *when* pooled stage results exist relative to their
-/// consumers (owners run first; consumers adopt without blocking).
-enum class scheduler_kind {
-    /// Task-DAG schedule (the default): campaign planning emits one owner
-    /// node per pooled stage digest, launched topologically before its
-    /// co-consumer scenarios, which adopt the completed snapshot instead
-    /// of blocking on a shared future.  Independent scenarios overlap with
-    /// pooled-prefix computes via work stealing (core/task_scheduler.hpp).
-    dag,
-    /// Legacy flat schedule: every scenario is an independent task and the
-    /// first consumer to reach a pooled stage computes it while later
-    /// consumers block on its future.  Escape hatch for one release
-    /// (`campaign_runner --schedule queue`); scheduled for removal.
-    queue,
-};
-
 /// Monte-Carlo perturbations applied per trial on top of the derived seeds
 /// (device-to-device spread a production population would show).  Only
 /// meaningful under `reseed_policy::device`.
@@ -140,9 +122,6 @@ struct campaign_config {
     bool relax_mask_to_floor = true;
 
     std::size_t threads = 0;                ///< worker count; 0 = hardware
-    /// Executor shape (results are identical either way; see
-    /// `scheduler_kind`).  Not part of the cache key or journal identity.
-    scheduler_kind schedule = scheduler_kind::dag;
 
     /// Portion of the grid this process grades (default: all of it).
     shard_spec shard{};
@@ -155,6 +134,15 @@ struct campaign_config {
     /// config (see campaign/cache.hpp), so overlapping grids and repeated
     /// runs skip already-graded scenarios.
     std::string cache_dir;
+    /// On-disk stage-artefact store directory; empty = store disabled.
+    /// Intermediate stage outputs are published keyed by their chained
+    /// input digests (campaign/artefact_store/) and adopted on later runs
+    /// — a warm run skips the stage computes themselves, even for
+    /// scenarios the result cache cannot serve.  Like `cache_dir`, an
+    /// execution knob: never part of the cache key or journal identity,
+    /// and exports stay byte-identical with the store cold, warm, or
+    /// disabled.
+    std::string stage_store_dir;
 
     // Failure containment (see also core/fault_injection.hpp, which makes
     // these paths testable on demand).
@@ -249,6 +237,15 @@ struct campaign_result {
     // misses into hits, so exporters treat these as measured data.
     std::size_t cache_hits = 0;
     std::size_t cache_misses = 0;
+
+    // Stage-artefact store accounting for this run (all 0 when
+    // `stage_store_dir` is empty).  Measured data like the cache
+    // counters: a warm rerun flips misses into hits.  Exactly equal to
+    // the `store.*` telemetry counters the run emitted (`store_bytes` is
+    // the raw bytes served by the hits).
+    std::size_t store_hits = 0;
+    std::size_t store_misses = 0;
+    std::uintmax_t store_bytes = 0;
 
     // Stage-pool accounting (both 0 when `stage_sharing` is off or the
     // grid has no overlap).  Unlike the cache counters these are

@@ -152,6 +152,10 @@ std::string summary_json(const campaign_result& result,
         o.size_field("cache_misses", result.cache_misses);
         o.size_field("stage_reuse_hits", result.stage_reuse_hits);
         o.size_field("stage_reuse_computes", result.stage_reuse_computes);
+        o.size_field("store_hits", result.store_hits);
+        o.size_field("store_misses", result.store_misses);
+        o.size_field("store_bytes",
+                     static_cast<std::size_t>(result.store_bytes));
         o.size_field("scenario_retries", result.scenario_retries);
         o.size_field("scenario_gave_up", result.scenario_gave_up);
         o.size_field("resumed", result.resumed);
@@ -214,6 +218,12 @@ std::string to_json(const campaign_result& result, export_options opt) {
             o.size_field("stage_reuse_hits", result.stage_reuse_hits);
             o.size_field("stage_reuse_computes",
                          result.stage_reuse_computes);
+            // Stage-store counters are measured data for the same reason:
+            // a warm rerun flips store misses into hits.
+            o.size_field("store_hits", result.store_hits);
+            o.size_field("store_misses", result.store_misses);
+            o.size_field("store_bytes",
+                         static_cast<std::size_t>(result.store_bytes));
             // Failure-containment counters: retries depend on injected or
             // real transient faults, resume/quarantine on on-disk history
             // — none are properties of the grid itself.

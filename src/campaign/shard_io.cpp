@@ -156,6 +156,10 @@ std::string result_to_json(const campaign_result& result) {
     doc.size_field("cache_misses", result.cache_misses);
     doc.size_field("stage_reuse_hits", result.stage_reuse_hits);
     doc.size_field("stage_reuse_computes", result.stage_reuse_computes);
+    doc.size_field("store_hits", result.store_hits);
+    doc.size_field("store_misses", result.store_misses);
+    doc.size_field("store_bytes",
+                   static_cast<std::size_t>(result.store_bytes));
     doc.size_field("resumed", result.resumed);
     doc.size_field("quarantined", result.quarantined);
     doc.field("telemetry", telemetry_block_json(result.telemetry_summary));
@@ -188,6 +192,9 @@ campaign_result result_from_json(const json_value& doc) {
     out.cache_misses = size_of(doc.at("cache_misses"));
     out.stage_reuse_hits = size_of(doc.at("stage_reuse_hits"));
     out.stage_reuse_computes = size_of(doc.at("stage_reuse_computes"));
+    out.store_hits = size_of(doc.at("store_hits"));
+    out.store_misses = size_of(doc.at("store_misses"));
+    out.store_bytes = size_of(doc.at("store_bytes"));
     out.resumed = size_of(doc.at("resumed"));
     out.quarantined = size_of(doc.at("quarantined"));
     out.telemetry_summary = telemetry_block_from_json(doc.at("telemetry"));

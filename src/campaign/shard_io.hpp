@@ -29,7 +29,9 @@ namespace sdrbist::campaign {
 /// v2: added the per-category `telemetry` aggregate block.
 /// v3: failure-containment fields — per-row attempts/backoff_ms/gave_up/
 ///     timed_out, per-result resumed/quarantined.
-inline constexpr int shard_file_version = 3;
+/// v4: stage-artefact store counters — per-result store_hits/store_misses/
+///     store_bytes.
+inline constexpr int shard_file_version = 4;
 
 /// Serialise a campaign result (typically one shard's) with full fidelity.
 /// Deterministic: fixed field order, shortest round-trip doubles — so

@@ -28,6 +28,8 @@ const char* to_string(site s) {
     case site::journal_append: return "journal.append";
     case site::service_send: return "service.send";
     case site::service_recv: return "service.recv";
+    case site::store_load: return "store.load";
+    case site::store_store: return "store.store";
     }
     return "unknown";
 }

@@ -75,8 +75,14 @@ enum class site : int {
     journal_append,       ///< recovery-journal line append (journal.cpp)
     service_send,         ///< campaign-service frame send (service/protocol.cpp)
     service_recv,         ///< campaign-service frame receive
+    store_load,           ///< stage-artefact store entry load
+                          ///< (campaign/artefact_store/; corrupt-bytes
+                          ///< garbles the just-read entry so read-side
+                          ///< quarantine can be exercised)
+    store_store,          ///< stage-artefact store entry publish
+                          ///< (best-effort write site, corrupt-bytes capable)
 };
-inline constexpr std::size_t site_count = 14;
+inline constexpr std::size_t site_count = 16;
 
 /// Stable spec/export name ("stage.stimulus", "pool.dispatch", ...).
 const char* to_string(site s);

@@ -177,6 +177,10 @@ const char* to_string(counter c) {
     case counter::service_leases: return "service.leases";
     case counter::service_requeues: return "service.requeues";
     case counter::service_heartbeats: return "service.heartbeats";
+    case counter::store_hits: return "store.hits";
+    case counter::store_misses: return "store.misses";
+    case counter::store_evictions: return "store.evictions";
+    case counter::store_bytes: return "store.bytes";
     }
     return "unknown";
 }

@@ -96,8 +96,13 @@ enum class counter : int {
                           ///< dead worker connection
     service_heartbeats,   ///< heartbeats accepted on a live lease (rows
                           ///< streamed mid-lease count as beats too)
+    store_hits,           ///< stage-artefact store entries adopted
+    store_misses,         ///< stage-artefact store lookups that missed
+    store_evictions,      ///< entries evicted by store GC (cache-gc)
+    store_bytes,          ///< raw (uncompressed) bytes served by store
+                          ///< hits (summed, not a count)
 };
-inline constexpr std::size_t counter_count = 18;
+inline constexpr std::size_t counter_count = 22;
 
 /// Stable export name ("cache.hits", "pool.queue_high_water", ...).
 const char* to_string(counter c);

@@ -75,6 +75,7 @@ public:
     [[nodiscard]] double rate() const { return rate_; }
     [[nodiscard]] std::size_t size() const { return samples_.size(); }
     [[nodiscard]] const std::vector<T>& samples() const { return samples_; }
+    [[nodiscard]] std::size_t half_taps() const { return half_taps_; }
     [[nodiscard]] std::size_t phase_steps() const { return phase_steps_; }
 
     /// SIMD kernel backend evaluating the tap loop (captured from

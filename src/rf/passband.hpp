@@ -69,6 +69,19 @@ public:
 
     [[nodiscard]] double carrier() const { return carrier_hz_; }
 
+    // Construction parameters, exposed so a serialiser can round-trip the
+    // signal: rebuilding with (envelope_samples, envelope_rate, carrier,
+    // half_taps) reproduces this object bit-identically (the LUT is a
+    // deterministic function of them).
+    [[nodiscard]] double envelope_rate() const { return interp_.rate(); }
+    [[nodiscard]] const std::vector<std::complex<double>>&
+    envelope_samples() const {
+        return interp_.samples();
+    }
+    [[nodiscard]] std::size_t interp_half_taps() const {
+        return interp_.half_taps();
+    }
+
 private:
     dsp::complex_interpolator interp_;
     double carrier_hz_;

@@ -1,8 +1,8 @@
 /// \file scheduler_stress_test.cpp
 /// \brief Scheduler determinism under stress: a 64-scenario pooled grid
-///        swept over {1,2,4,8} threads × {queue,dag} must export byte-
-///        identical reports, and fault-injected transients (task dispatch
-///        and stage sites) must retry inside the right scenario even when
+///        swept over {1,2,4,8} threads must export byte-identical
+///        reports, and fault-injected transients (task dispatch and
+///        stage sites) must retry inside the right scenario even when
 ///        tasks are stolen across workers.
 
 #include <string>
@@ -56,10 +56,8 @@ struct run_snapshot {
     std::size_t gave_up = 0;
 };
 
-run_snapshot run_once(campaign_config cfg, std::size_t threads,
-                      scheduler_kind schedule) {
+run_snapshot run_once(campaign_config cfg, std::size_t threads) {
     cfg.threads = threads;
-    cfg.schedule = schedule;
     const auto result = campaign_runner(cfg).run();
     export_options opt;
     opt.include_timing = false;
@@ -73,34 +71,27 @@ run_snapshot run_once(campaign_config cfg, std::size_t threads,
     return snap;
 }
 
-TEST(SchedulerStress, SixtyFourScenariosByteIdenticalAcrossThreadsAndSchedulers) {
+TEST(SchedulerStress, SixtyFourScenariosByteIdenticalAcrossThreads) {
     const auto cfg = stress_campaign();
     ASSERT_EQ(expand_grid(cfg).size(), 64u);
 
-    const auto baseline = run_once(cfg, 1, scheduler_kind::dag);
+    const auto baseline = run_once(cfg, 1);
     EXPECT_GT(baseline.reuse_hits, 0u);
     // 16 presets sharing one device: 1 stimulus + 1 capture, plus one
     // calibration and one reconstruction per probe-draw trial.
     EXPECT_EQ(baseline.reuse_computes, 1u + 1u + 4u + 4u);
 
     for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
-        for (const auto schedule :
-             {scheduler_kind::queue, scheduler_kind::dag}) {
-            const char* label =
-                schedule == scheduler_kind::dag ? "dag" : "queue";
-            const auto snap = run_once(cfg, threads, schedule);
-            EXPECT_EQ(snap.report, baseline.report)
-                << "threads=" << threads << " schedule=" << label;
-            EXPECT_EQ(snap.jsonl, baseline.jsonl)
-                << "threads=" << threads << " schedule=" << label;
-            // Reuse accounting is part of the determinism contract: the
-            // credited-consumer rule keeps the dag totals identical to
-            // the queue schedule at any thread count.
-            EXPECT_EQ(snap.reuse_hits, baseline.reuse_hits)
-                << "threads=" << threads << " schedule=" << label;
-            EXPECT_EQ(snap.reuse_computes, baseline.reuse_computes)
-                << "threads=" << threads << " schedule=" << label;
-        }
+        const auto snap = run_once(cfg, threads);
+        EXPECT_EQ(snap.report, baseline.report) << "threads=" << threads;
+        EXPECT_EQ(snap.jsonl, baseline.jsonl) << "threads=" << threads;
+        // Reuse accounting is part of the determinism contract: the
+        // credited-consumer rule keeps the totals identical at any
+        // thread count.
+        EXPECT_EQ(snap.reuse_hits, baseline.reuse_hits)
+            << "threads=" << threads;
+        EXPECT_EQ(snap.reuse_computes, baseline.reuse_computes)
+            << "threads=" << threads;
     }
 }
 
@@ -111,38 +102,34 @@ protected:
 
 /// Transients at the task-dispatch boundary and inside pipeline stages
 /// must be contained by the scenario that observed them — retried there,
-/// invisible everywhere else — under work stealing in both schedules.
+/// invisible everywhere else — under work stealing.
 TEST_F(SchedulerStressFaults, RetriesLandOnTheRightScenarioUnderStealing) {
     auto cfg = stress_campaign();
     cfg.max_retries = 6;
 
     fi::disarm();
-    const auto clean = run_once(cfg, 1, scheduler_kind::dag);
+    const auto clean = run_once(cfg, 1);
 
-    for (const auto schedule : {scheduler_kind::queue, scheduler_kind::dag}) {
-        const char* label =
-            schedule == scheduler_kind::dag ? "dag" : "queue";
-        // Dispatch-boundary transients: fire on every 7th scenario task
-        // hand-off (which scenario draws one depends on scheduling).
-        fi::arm("pool.dispatch:throw-transient:every=7");
-        auto faulted = run_once(cfg, 4, schedule);
-        EXPECT_EQ(faulted.report, clean.report) << "schedule=" << label;
-        EXPECT_EQ(faulted.jsonl, clean.jsonl) << "schedule=" << label;
-        EXPECT_GT(faulted.retries, 0u) << "schedule=" << label;
-        EXPECT_EQ(faulted.gave_up, 0u) << "schedule=" << label;
+    // Dispatch-boundary transients: fire on every 7th scenario task
+    // hand-off (which scenario draws one depends on scheduling).
+    fi::arm("pool.dispatch:throw-transient:every=7");
+    auto faulted = run_once(cfg, 4);
+    EXPECT_EQ(faulted.report, clean.report);
+    EXPECT_EQ(faulted.jsonl, clean.jsonl);
+    EXPECT_GT(faulted.retries, 0u);
+    EXPECT_EQ(faulted.gave_up, 0u);
 
-        // Stage-site transients: under the dag schedule a poisoned pooled
-        // slot is rethrown into each adopting scenario's attempt 1 and
-        // recomputed privately on its retries — the final grid must still
-        // be byte-identical to the clean run.
-        fi::arm("stage.calibration:throw-transient:p=0.08,seed=11;"
-                "stage.grading:throw-transient:p=0.04,seed=23");
-        faulted = run_once(cfg, 4, schedule);
-        EXPECT_EQ(faulted.report, clean.report) << "schedule=" << label;
-        EXPECT_EQ(faulted.jsonl, clean.jsonl) << "schedule=" << label;
-        EXPECT_EQ(faulted.gave_up, 0u) << "schedule=" << label;
-        fi::disarm();
-    }
+    // Stage-site transients: a poisoned pooled slot is rethrown into
+    // each adopting scenario's attempt 1 and recomputed privately on its
+    // retries — the final grid must still be byte-identical to the clean
+    // run.
+    fi::arm("stage.calibration:throw-transient:p=0.08,seed=11;"
+            "stage.grading:throw-transient:p=0.04,seed=23");
+    faulted = run_once(cfg, 4);
+    EXPECT_EQ(faulted.report, clean.report);
+    EXPECT_EQ(faulted.jsonl, clean.jsonl);
+    EXPECT_EQ(faulted.gave_up, 0u);
+    fi::disarm();
 }
 
 } // namespace

@@ -117,28 +117,19 @@ TEST_F(CampaignTelemetry, StageReuseCountersMatchTheResultExactly) {
               result.stage_reuse_computes);
 }
 
-TEST_F(CampaignTelemetry, StageAccountingIsUnchangedByTheSchedulerSwap) {
-    // The credited-consumer rule makes the dag schedule book exactly the
-    // adopt/compute split the queue schedule does — at any thread count,
-    // in the result fields and in the counters alike.
+TEST_F(CampaignTelemetry, StageAccountingIsUnchangedByThreadCount) {
+    // The credited-consumer rule books the same adopt/compute split at
+    // any thread count — in the result fields and the counters alike.
     auto cfg = small_campaign();
     cfg.faults = {bist::fault_kind::none};
     cfg.trials = 3;
     cfg.reseed = reseed_policy::probes;
     cfg.stage_sharing = bist::stage::reconstruction;
 
-    struct leg {
-        scheduler_kind schedule;
-        std::size_t threads;
-    };
     std::vector<campaign_result> results;
     tm::enable();
-    for (const leg l : {leg{scheduler_kind::queue, 1},
-                        leg{scheduler_kind::queue, 4},
-                        leg{scheduler_kind::dag, 1},
-                        leg{scheduler_kind::dag, 4}}) {
-        cfg.schedule = l.schedule;
-        cfg.threads = l.threads;
+    for (const std::size_t threads : {1u, 2u, 4u}) {
+        cfg.threads = threads;
         const auto before = tm::counters();
         results.push_back(campaign_runner(cfg).run());
         const auto after = tm::counters();
@@ -150,12 +141,12 @@ TEST_F(CampaignTelemetry, StageAccountingIsUnchangedByTheSchedulerSwap) {
                       counter_at(before, tm::counter::stage_computes),
                   r.stage_reuse_computes);
     }
-    const auto& queue1 = results.front();
-    EXPECT_GT(queue1.stage_reuse_hits, 0u);
+    const auto& single = results.front();
+    EXPECT_GT(single.stage_reuse_hits, 0u);
     for (const auto& r : results) {
-        EXPECT_EQ(r.stage_reuse_hits, queue1.stage_reuse_hits);
-        EXPECT_EQ(r.stage_reuse_computes, queue1.stage_reuse_computes);
-        EXPECT_EQ(timing_free(r), timing_free(queue1));
+        EXPECT_EQ(r.stage_reuse_hits, single.stage_reuse_hits);
+        EXPECT_EQ(r.stage_reuse_computes, single.stage_reuse_computes);
+        EXPECT_EQ(timing_free(r), timing_free(single));
     }
 }
 
@@ -164,7 +155,6 @@ TEST_F(CampaignTelemetry, SchedCountersAreExactUnderConcurrency) {
     cfg.faults = {bist::fault_kind::none};
     cfg.trials = 3;
     cfg.reseed = reseed_policy::probes;
-    cfg.schedule = scheduler_kind::dag;
     cfg.threads = 4;
 
     const auto run_deltas = [&cfg] {
@@ -194,23 +184,17 @@ TEST_F(CampaignTelemetry, SchedCountersAreExactUnderConcurrency) {
         << "the dag schedule never blocks on a pooled stage";
     EXPECT_EQ(timing_free(result2), timing_free(result));
 
-    // Single-threaded there is nobody to steal from; the queue schedule
-    // never touches the adopt fast path.
+    // Single-threaded there is nobody to steal from.
     cfg.threads = 1;
     const auto [single, result3] = run_deltas();
     static_cast<void>(result3);
     EXPECT_EQ(counter_at(single, tm::counter::sched_steals), 0u);
-    cfg.schedule = scheduler_kind::queue;
-    cfg.threads = 4;
-    const auto [queued, result4] = run_deltas();
-    static_cast<void>(result4);
-    EXPECT_EQ(counter_at(queued, tm::counter::sched_adopt_fastpath), 0u);
 }
 
 TEST_F(CampaignTelemetry, WarmCacheSkipsUndemandedOwnerNodes) {
     // On a warm cache every consumer is served before the owner nodes
     // run; the demand gate must leave all stage work (and its counters)
-    // at zero — same as the queue schedule, where nobody acquires.
+    // at zero.
     const scratch_dir dir("sched_warm_owners");
     auto cfg = small_campaign();
     cfg.faults = {bist::fault_kind::none};

@@ -46,11 +46,13 @@ using simd::scalar_ops;
 constexpr double accum_rel_bound = 1e-12;
 
 /// Record shapes every kernel is exercised on: empty, single element, below
-/// vector width, exact multiples, tail remainders, and the hot-path sizes
-/// (61-tap PNBS window, 64-tap interpolator window).
-const std::vector<std::size_t> lengths = {0,  1,  2,  3,  4,  5,   7,  8,
-                                          9,  15, 16, 17, 31, 32,  33, 61,
-                                          63, 64, 65, 100, 127, 128, 129};
+/// vector width, exact multiples, tail remainders (including the unrolled
+/// 8-wide carrier_mix loop's 4-wide and scalar tails), and the hot-path
+/// sizes (61-tap PNBS window, 64-tap interpolator window).
+const std::vector<std::size_t> lengths = {
+    0,  1,  2,  3,  4,  5,   7,   8,   9,   11,  12,  13, 15,
+    16, 17, 31, 32, 33, 61,  63,  64,  65,  100, 127, 128,
+    129, 255, 256, 257, 260};
 
 /// Pointer misalignments (in elements) applied on top of each length.
 const std::vector<std::size_t> offsets = {0, 1, 2, 3};
